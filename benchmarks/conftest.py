@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and records
+headline numbers in ``extra_info``.  The scale defaults to ``small`` (the
+documented benchmark preset); set ``REPRO_SCALE=paper`` for the full 1/100
+TPC-D sizing or ``REPRO_SCALE=tiny`` for a quick pass.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def db(scale):
+    from repro.core.experiment import workload_database
+
+    return workload_database(scale)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

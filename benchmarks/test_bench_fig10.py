@@ -1,0 +1,16 @@
+"""Bench F10: misses vs cache size (database data is flat; private
+data collapses)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig10.run(scale=scale, db=db))
+    print("\n" + fig10.report(results))
+    for qid, per in results.items():
+        flat = per[max(per)]["l2"]["Data"] / max(per[1]["l2"]["Data"], 1)
+        benchmark.extra_info[f"{qid}_data_retention"] = round(flat, 3)
+        # Paper shape: no intra-query temporal locality on database data.
+        assert 0.9 < flat < 1.1, qid
+        assert per[max(per)]["l1"]["Priv"] < per[1]["l1"]["Priv"] / 2

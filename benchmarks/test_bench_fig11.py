@@ -1,0 +1,20 @@
+"""Bench F11: execution time vs cache size (speedups come mostly from
+private data)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig11.run(scale=scale, db=db))
+    print("\n" + fig11.report(results))
+    for qid, per in results.items():
+        big = max(per)
+        speedup = per[1]["exec_time"] / per[big]["exec_time"]
+        benchmark.extra_info[f"{qid}_speedup_x{big}"] = round(speedup, 3)
+        assert speedup >= 1.0
+        # Sequential queries gain little in SMem (flat Data curve).
+        if qid in ("Q6", "Q12"):
+            smem_gain = per[1]["SMem"] - per[big]["SMem"]
+            pmem_gain = per[1]["PMem"] - per[big]["PMem"]
+            assert pmem_gain > smem_gain, qid

@@ -1,0 +1,21 @@
+"""Bench F12: inter-query reuse with warm caches (huge-cache setup)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig12.run(scale=scale, db=db))
+    print("\n" + fig12.report(results))
+    cold = results[("Q12", None)]["l2"]["Data"]
+    same = results[("Q12", "Q12")]["l2"]["Data"]
+    other = results[("Q12", "Q3")]["l2"]["Data"]
+    benchmark.extra_info["q12_data_after_q12"] = f"{100 * same / cold:.0f}%"
+    benchmark.extra_info["q12_data_after_q3"] = f"{100 * other / cold:.0f}%"
+    # Paper shape: Sequential-after-Sequential reuses the whole table;
+    # Sequential-after-Index reuses only the few tuples Q3 touched.
+    assert same < 0.2 * cold
+    assert other > 0.7 * cold
+    ix_cold = results[("Q3", None)]["l2"]["Index"]
+    ix_warm = results[("Q3", "Q3")]["l2"]["Index"]
+    assert ix_warm < ix_cold  # indices are reused across Index queries

@@ -1,0 +1,16 @@
+"""Bench F13: sequential prefetching of database data (Base vs Opt)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig13.run(scale=scale, db=db))
+    print("\n" + fig13.report(results))
+    for qid, r in results.items():
+        gain = 100 * (1 - r["opt"]["exec_time"] / r["base"]["exec_time"])
+        benchmark.extra_info[f"{qid}_gain"] = f"{gain:+.1f}%"
+    # Paper shape: modest gains for the Sequential queries, none for Q3.
+    assert results["Q6"]["speedup"] > 1.0
+    assert results["Q12"]["speedup"] > 1.0
+    assert results["Q3"]["speedup"] <= 1.01

@@ -1,0 +1,16 @@
+"""Bench F6: execution-time breakdown and memory-stall decomposition."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig6.run(scale=scale, db=db))
+    print("\n" + fig6.report(results))
+    for qid, r in results.items():
+        benchmark.extra_info[f"{qid}_busy"] = round(r["breakdown"]["Busy"], 3)
+        benchmark.extra_info[f"{qid}_mem"] = round(r["breakdown"]["Mem"], 3)
+    # Paper shape: Busy dominates; Q3 stalls on Index+Metadata, Q6/Q12 on Data.
+    assert results["Q3"]["mem_breakdown"]["Index"] > \
+        results["Q6"]["mem_breakdown"]["Index"]
+    assert results["Q6"]["mem_breakdown"]["Data"] > 0.6

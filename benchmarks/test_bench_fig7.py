@@ -1,0 +1,17 @@
+"""Bench F7: miss classification by data structure and type (plus the
+section-5.1 absolute miss rates)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig7.run(scale=scale, db=db))
+    print("\n" + fig7.report(results))
+    for qid, r in results.items():
+        benchmark.extra_info[f"{qid}_l1_mr"] = f"{100 * r['l1_miss_rate']:.2f}%"
+        benchmark.extra_info[f"{qid}_l2_mr"] = f"{100 * r['l2_miss_rate']:.2f}%"
+    # Paper shape: private data dominates L1 misses in every query.
+    for qid, r in results.items():
+        groups = {g: sum(v) for g, v in r["l1_grouped"].items()}
+        assert groups["Priv"] == max(groups.values()), qid

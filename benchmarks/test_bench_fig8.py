@@ -1,0 +1,17 @@
+"""Bench F8: misses vs cache line size (16..256-byte secondary lines)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig8.run(scale=scale, db=db))
+    print("\n" + fig8.report(results))
+    norm = fig8.normalized(results, "l2")
+    for qid in results:
+        series = [round(norm[qid][l]["Data"], 1) for l in fig8.LINE_SIZES]
+        benchmark.extra_info[f"{qid}_data_l2"] = series
+    # Paper shape: Data misses decrease "spectacularly" with line size.
+    for qid in ("Q6", "Q12"):
+        data = [norm[qid][l]["Data"] for l in fig8.LINE_SIZES]
+        assert data == sorted(data, reverse=True)

@@ -1,0 +1,18 @@
+"""Bench F9: execution time vs cache line size (minimum near 64 bytes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, scale, db):
+    results = run_once(benchmark, lambda: fig9.run(scale=scale, db=db))
+    print("\n" + fig9.report(results))
+    for qid in results:
+        best = fig9.best_line_size(results, qid)
+        benchmark.extra_info[f"{qid}_best_line"] = f"{best}B"
+        # Paper shape: 64-byte secondary lines perform well; the extremes
+        # of the sweep lose.
+        times = {l: results[qid][l]["exec_time"] for l in results[qid]}
+        assert best in (64, 128), (qid, times)
+        assert times[16] > times[best]
+        assert times[256] > times[best]

@@ -1,0 +1,44 @@
+"""Extension bench: intra-query parallelism (the paper's future work).
+
+Measures the latency of one Q6-style aggregate scan executed three ways:
+on a single processor, as four independent copies (the paper's inter-query
+setup, a throughput measure), and partitioned across the four processors
+(intra-query parallelism).
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.experiment import run_query_workload, workload_database
+from repro.core.parallel import run_intra_query_workload
+from repro.memsim.interleave import Interleaver
+from repro.memsim.numa import NumaMachine
+from repro.tpcd.scales import get_scale
+
+SQL = (
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue, COUNT(*) AS n "
+    "FROM lineitem WHERE l_discount > 0.02"
+)
+
+
+def test_bench_intra_query_parallelism(benchmark, scale, db):
+    sc = get_scale(scale)
+
+    def run():
+        machine = NumaMachine(sc.machine_config(), home_fn=db.shmem.home_fn())
+        backend = db.backend(0, arena_size=sc.arena_size)
+        single = Interleaver(machine).run([db.execute(db.plan(SQL), backend)])
+        inter = run_query_workload("Q6", scale=sc, db=db)
+        intra, combined = run_intra_query_workload(SQL, scale=sc, db=db)
+        return single, inter, intra, combined
+
+    single, inter, intra, combined = run_once(benchmark, run)
+    speedup = single.exec_time / intra.exec_time
+    benchmark.extra_info["single_cycles"] = single.exec_time
+    benchmark.extra_info["intra_cycles"] = intra.exec_time
+    benchmark.extra_info["intra_speedup"] = f"{speedup:.2f}x on 4 CPUs"
+    # Partitioned execution parallelizes the scan but each cache still
+    # takes its own share of the cold misses.
+    assert 2.0 < speedup <= 4.5
+    # And it answers the query correctly.
+    serial_row = db.run(SQL).rows[0]
+    assert [round(v, 4) if isinstance(v, float) else v for v in combined] == \
+        [round(v, 4) if isinstance(v, float) else v for v in serial_row]

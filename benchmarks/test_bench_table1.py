@@ -1,0 +1,12 @@
+"""Bench T1: regenerate Table 1 (operator sets of the 17 TPC-D queries)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, scale, db):
+    results = run_once(benchmark, lambda: table1.run(scale=scale, db=db))
+    print("\n" + table1.report(results))
+    matches = sum(r["match"] for r in results.values())
+    benchmark.extra_info["queries_matching_paper"] = f"{matches}/17"
+    assert matches == 17

@@ -1,0 +1,83 @@
+"""Using the engine as a library: your own schema, data, and workload.
+
+Builds a small order-management database from scratch, designs two
+physical layouts (with and without indices), and shows how the same
+logical query becomes an *Index* or a *Sequential* query -- with the
+memory behaviour the paper predicts for each.
+
+Run with::
+
+    python examples/custom_database.py
+"""
+
+import random
+
+from repro.db.datatypes import Schema, char, date, float8, int4
+from repro.db.engine import Database
+from repro.memsim.interleave import Interleaver
+from repro.memsim.numa import MachineConfig, NumaMachine
+
+
+def build(with_indexes):
+    rng = random.Random(9)
+    db = Database()
+    db.create_table(Schema("accounts", [
+        int4("acct_id"), char("acct_region", 12), float8("acct_balance"),
+        char("acct_owner", 24),
+    ]))
+    db.create_table(Schema("payments", [
+        int4("pay_id"), int4("pay_acct"), float8("pay_amount"),
+        date("pay_date"), char("pay_memo", 40),
+    ]))
+    regions = ["north", "south", "east", "west"]
+    db.load("accounts", [
+        [i, rng.choice(regions), round(rng.uniform(0, 5000), 2), f"owner{i}"]
+        for i in range(400)
+    ])
+    db.load("payments", [
+        [i, rng.randrange(400), round(rng.uniform(1, 900), 2),
+         rng.randrange(0, 2000), "memo"]
+        for i in range(4000)
+    ])
+    if with_indexes:
+        db.create_index("ix_acct_id", "accounts", ["acct_id"])
+        db.create_index("ix_acct_region", "accounts", ["acct_region"])
+        db.create_index("ix_pay_acct", "payments", ["pay_acct"])
+    return db
+
+
+SQL = (
+    "SELECT acct_owner, SUM(pay_amount) AS total "
+    "FROM accounts, payments "
+    "WHERE acct_region = 'north' AND pay_acct = acct_id "
+    "GROUP BY acct_owner ORDER BY total DESC"
+)
+
+
+def simulate(db, label):
+    machine = NumaMachine(MachineConfig(l1_size=1024, l2_size=32 * 1024),
+                          home_fn=db.shmem.home_fn())
+    backends = [db.backend(i, arena_size=16 * 1024) for i in range(4)]
+    streams = [db.execute(SQL, b) for b in backends]
+    run = Interleaver(machine).run(streams)
+    groups = {g: sum(v) for g, v in machine.stats.grouped("l2").items()}
+    print(f"\n[{label}]")
+    print(db.explain(SQL))
+    print("time breakdown:",
+          {k: f"{100 * v:.1f}%" for k, v in run.breakdown().items()})
+    print("L2 misses by structure:", groups)
+
+
+def main():
+    print("Same query, two physical designs:")
+    simulate(build(with_indexes=True), "with indices -> Index query")
+    simulate(build(with_indexes=False), "no indices -> Sequential query")
+    print(
+        "\nWith indices the shared-data misses land on Index + Metadata;\n"
+        "without them the plan scans sequentially and misses land on Data --\n"
+        "the paper's two query classes, reproduced on a custom schema."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: build a TPC-D database, run SQL, and simulate its memory use.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import run_query_workload, workload_database
+from repro.tpcd import query_instance
+
+
+def main():
+    # 1. A populated TPC-D database (deterministic dbgen at 1/1000 scale).
+    db = workload_database("small")
+    print("Database contents:")
+    for name, info in db.size_report().items():
+        print(f"  {name:10s} {info['rows']:7d} rows  {info['bytes'] / 1024:8.0f} KB")
+
+    # 2. Plain SQL: plan and execute a query.
+    sql = (
+        "SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice) AS revenue "
+        "FROM lineitem WHERE l_shipdate < DATE '1995-01-01' "
+        "GROUP BY l_returnflag ORDER BY l_returnflag"
+    )
+    print("\nQuery plan:")
+    print(db.explain(sql))
+    result = db.run(sql)
+    print("\nResults:")
+    for row in result.rows:
+        print(" ", dict(zip(result.columns, row)))
+
+    # 3. The paper's experiment: run TPC-D Q6 on all four processors of the
+    #    simulated CC-NUMA machine and look at where the time goes.
+    q6 = query_instance("Q6", seed=0)
+    print(f"\nSimulating Q6 on 4 processors: {q6.sql[:70]}...")
+    workload = run_query_workload("Q6", scale="small", db=db)
+    print(f"Execution time: {workload.exec_time:,} cycles")
+    print("Time breakdown:",
+          {k: f"{100 * v:.1f}%" for k, v in workload.breakdown().items()})
+    print("Memory stall by structure:",
+          {k: f"{100 * v:.1f}%" for k, v in workload.mem_breakdown().items()})
+    print(f"L1 miss rate: {100 * workload.stats.l1_miss_rate():.2f}%   "
+          f"L2 global miss rate: {100 * workload.stats.l2_miss_rate():.2f}%")
+
+
+if __name__ == "__main__":
+    main()

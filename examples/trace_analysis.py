@@ -1,0 +1,49 @@
+"""Trace analysis: measure the paper's section-3 locality claims directly.
+
+Instead of simulating a cache, this example analyzes the raw reference
+stream of each query: reuse-distance histograms (temporal locality), line
+utilization and streaming fraction (spatial locality), per data structure.
+
+Run with::
+
+    python examples/trace_analysis.py [tiny|small]
+"""
+
+import sys
+
+from repro.core import analyze_query, workload_database
+from repro.core.report import format_table
+from repro.tpcd import query_instance
+
+
+def main(scale="tiny"):
+    db = workload_database(scale)
+    for qid in ("Q3", "Q6", "Q12"):
+        qi = query_instance(qid, seed=0)
+        report = analyze_query(db, qi.sql, backend=db.backend(0),
+                               hints=qi.hints)
+        rows = []
+        for name, m in report.summary().items():
+            rows.append([
+                name, m["refs"], m["footprint"],
+                f"{100 * m['line_utilization']:.0f}%",
+                f"{100 * m['sequential_fraction']:.0f}%",
+                f"{100 * m['temporal_score']:.0f}%",
+                m["reuse"]["cold"],
+            ])
+        print(format_table(
+            ["Structure", "Refs", "Footprint", "LineUse", "Streaming",
+             "Temporal", "Cold"],
+            rows, title=f"{qid}: locality of the reference stream",
+        ))
+        print()
+    print("Reading the tables (paper, section 3):")
+    print(" * Q6's Data: high streaming fraction, mostly cold lines -- ")
+    print("   spatial locality without temporal locality.")
+    print(" * Q3's Index: strong temporal score -- the B-tree's top levels")
+    print("   are re-read on every probe.")
+    print(" * LockSLock: one cache line, re-used constantly.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tiny")

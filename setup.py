@@ -1,0 +1,5 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Characterization core: runs DSS workloads through the simulated machine.
+
+This is the paper's experimental apparatus (section 4.3): one query per
+simulated processor, statistics recorded for the complete execution stage,
+misses and stall time attributed to the software data structures they land
+on.
+"""
+
+from repro.core.experiment import (
+    WorkloadResult,
+    run_mixed_workload,
+    run_query_workload,
+    run_warm_workload,
+    workload_database,
+)
+from repro.core.report import format_table, normalize, percent
+from repro.core.locality import LocalityReport, analyze, analyze_query
+from repro.core.parallel import run_intra_query_workload
+
+__all__ = [
+    "LocalityReport",
+    "analyze",
+    "analyze_query",
+    "run_intra_query_workload",
+    "WorkloadResult",
+    "run_mixed_workload",
+    "run_query_workload",
+    "run_warm_workload",
+    "workload_database",
+    "format_table",
+    "normalize",
+    "percent",
+]

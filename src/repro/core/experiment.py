@@ -1,0 +1,174 @@
+"""Workload runner: N processors, one query stream each.
+
+Reproduces the paper's setup: a 4-processor CC-NUMA machine where each
+processor runs one query of the same type with different TPC-D parameters
+(inter-query parallelism), simulated from start to finish with no warm-up
+discarded -- unless a warm-start is requested explicitly, which is how the
+inter-query temporal locality experiment (Figure 12) is built.
+"""
+
+from repro.db.tracing import drain
+from repro.memsim.interleave import Interleaver
+from repro.memsim.numa import NumaMachine
+from repro.tpcd.dbgen import build_database
+from repro.tpcd.queries import query_instance
+from repro.tpcd.scales import get_scale
+
+_DB_CACHE = {}
+
+
+def workload_database(scale="small", seed=42):
+    """Build (or reuse) the populated TPC-D database for a scale preset.
+
+    Databases are cached per ``(scale, seed)``: they are read-only under
+    the paper's query set, so sharing one instance across experiments is
+    safe and saves most of the setup time.
+    """
+    scale = get_scale(scale)
+    key = (scale.name, seed)
+    if key not in _DB_CACHE:
+        _DB_CACHE[key] = build_database(sf=scale.sf, seed=seed)
+    return _DB_CACHE[key]
+
+
+class WorkloadResult:
+    """Everything one simulated workload produced."""
+
+    def __init__(self, qid, scale, machine, run, rows_per_cpu):
+        self.qid = qid
+        self.scale = scale
+        self.machine = machine
+        self.run = run
+        self.rows_per_cpu = rows_per_cpu
+
+    @property
+    def stats(self):
+        """Machine-wide miss statistics."""
+        return self.machine.stats
+
+    @property
+    def exec_time(self):
+        return self.run.exec_time
+
+    def breakdown(self):
+        """Figure 6-(a): Busy / MSync / Mem fractions."""
+        return self.run.breakdown()
+
+    def mem_breakdown(self):
+        """Figure 6-(b): memory stall split by data-structure group."""
+        return self.run.mem_breakdown()
+
+    def time_components(self):
+        """Figures 9/11: absolute Busy / MSync / SMem / PMem cycles."""
+        return self.run.time_components()
+
+
+def _query_stream(db, backend, sql, hints, sink):
+    rows = yield from db.execute(sql, backend, hints=hints)
+    sink[backend.node] = rows
+
+
+def _instances(qid, n_procs, seed_base):
+    return [query_instance(qid, seed=seed_base + i) for i in range(n_procs)]
+
+
+def run_query_workload(qid, scale="small", machine_config=None, n_procs=4,
+                       seed_base=0, db=None, prefetch=False):
+    """Run one query type on every processor; return a WorkloadResult.
+
+    ``machine_config`` defaults to the scale's baseline; ``prefetch``
+    switches on the section-6 sequential prefetcher for database data.
+    """
+    scale = get_scale(scale)
+    db = db or workload_database(scale)
+    cfg = machine_config or scale.machine_config()
+    if prefetch:
+        cfg = cfg.replace(prefetch_data=True)
+    machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
+    backends = [db.backend(i, arena_size=scale.arena_size) for i in range(n_procs)]
+    sink = {}
+    streams = [
+        _query_stream(db, backends[i], qi.sql, qi.hints, sink)
+        for i, qi in enumerate(_instances(qid, n_procs, seed_base))
+    ]
+    run = Interleaver(machine).run(streams)
+    return WorkloadResult(qid, scale, machine, run, sink)
+
+
+def run_mixed_workload(qids, scale="small", machine_config=None, db=None,
+                       seed_base=0):
+    """Run a heterogeneous workload: processor *i* runs query ``qids[i]``.
+
+    The paper's parallel programming model is inter-query parallelism where
+    "each simulated processor runs a different query or stream of queries";
+    this is the different-queries variant (the homogeneous variant is
+    :func:`run_query_workload`).  A processor may also run a *stream*: pass
+    a list of query ids for that slot and they execute back to back on the
+    same backend, with the query-lifetime heap released in between.
+    """
+    scale = get_scale(scale)
+    db = db or workload_database(scale)
+    cfg = machine_config or scale.machine_config()
+    machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
+    backends = [db.backend(i, arena_size=scale.arena_size)
+                for i in range(len(qids))]
+    sink = {}
+
+    def stream(i, spec):
+        backend = backends[i]
+        queries = spec if isinstance(spec, (list, tuple)) else [spec]
+        results = []
+        for j, qid in enumerate(queries):
+            qi = query_instance(qid, seed=seed_base + i + 10 * j)
+            rows = yield from db.execute(qi.sql, backend, hints=qi.hints)
+            results.append(rows)
+            backend.priv.reset_heap()
+        sink[i] = results if isinstance(spec, (list, tuple)) else results[0]
+
+    run = Interleaver(machine).run([stream(i, q) for i, q in enumerate(qids)])
+    return WorkloadResult(tuple(qids), scale, machine, run, sink)
+
+
+def run_warm_workload(measure_qid, warm_qid=None, scale="small",
+                      machine_config=None, n_procs=4, db=None):
+    """Figure-12 style run: optionally warm the caches, then measure.
+
+    The warm-up phase runs ``warm_qid`` (with different parameters) to
+    completion; its statistics are discarded, cache and directory state are
+    kept, each backend's query-lifetime heap is released (so the measured
+    query reuses the same private addresses, as Postgres95 processes do),
+    and then ``measure_qid`` runs with fresh statistics.
+    """
+    scale = get_scale(scale)
+    db = db or workload_database(scale)
+    cfg = machine_config or scale.machine_config()
+    machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
+    backends = [db.backend(i, arena_size=scale.arena_size) for i in range(n_procs)]
+    interleaver = Interleaver(machine)
+
+    if warm_qid is not None:
+        warm_sink = {}
+        warm_streams = [
+            _query_stream(db, backends[i], qi.sql, qi.hints, warm_sink)
+            for i, qi in enumerate(_instances(warm_qid, n_procs, seed_base=100))
+        ]
+        interleaver.run(warm_streams)
+        for b in backends:
+            b.priv.reset_heap()
+
+    sink = {}
+    streams = [
+        _query_stream(db, backends[i], qi.sql, qi.hints, sink)
+        for i, qi in enumerate(_instances(measure_qid, n_procs, seed_base=0))
+    ]
+    run = interleaver.run(streams, reset_stats=True)
+    return WorkloadResult(measure_qid, scale, machine, run, sink)
+
+
+def run_untraced(qid, scale="small", seed=0, db=None):
+    """Execute a query instance without simulation; returns its rows."""
+    scale = get_scale(scale)
+    db = db or workload_database(scale)
+    qi = query_instance(qid, seed=seed)
+    backend = db.backend(0, arena_size=scale.arena_size)
+    return drain(db.execute(qi.sql, backend, hints=qi.hints))

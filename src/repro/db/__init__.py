@@ -1,0 +1,34 @@
+"""A memory-resident relational engine with Postgres95's anatomy.
+
+This package is the paper's *substrate*: a from-scratch database engine
+whose shared-memory data structures mirror the ones the paper instruments
+(Figure 4) -- 8-KB buffer blocks, buffer descriptors, a buffer lookup hash,
+a lock manager with Lock/Xid hash tables guarded by the ``LockMgrLock``
+spinlock, B-tree indices, and an iterator-model executor producing
+left-deep query plans.
+
+Every operation both *computes real results* and *emits a typed memory
+reference stream* (see :mod:`repro.memsim.events`), so the same execution
+that answers a query also drives the memory-hierarchy simulation.
+"""
+
+from repro.db.datatypes import Column, Schema, DataType, date_to_num, num_to_date
+from repro.db.shmem import SharedMemory, PrivateMemory
+from repro.db.table import HeapTable
+from repro.db.btree import BTreeIndex
+from repro.db.engine import Database, Backend, QueryResult
+
+__all__ = [
+    "Column",
+    "Schema",
+    "DataType",
+    "date_to_num",
+    "num_to_date",
+    "SharedMemory",
+    "PrivateMemory",
+    "HeapTable",
+    "BTreeIndex",
+    "Database",
+    "Backend",
+    "QueryResult",
+]

@@ -1,0 +1,259 @@
+"""Expression trees: predicates, arithmetic, and aggregate calls.
+
+Expressions are small immutable dataclasses produced by the SQL parser and
+consumed by the planner and executor.  For execution they are *compiled*
+into plain Python closures over a row (a list of values), which keeps the
+per-tuple interpretation overhead out of the simulation's hot loop.
+"""
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+_CMP_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+AGG_FUNCS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class Col:
+    """A column reference (TPC-D prefixes make names globally unique)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal value."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic: ``left op right`` with op in ``+ - * /``."""
+
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """Comparison: ``left op right`` with op in ``= <> < <= > >=``."""
+
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of predicates."""
+
+    parts: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of predicates."""
+
+    parts: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation."""
+
+    part: Any
+
+
+@dataclass(frozen=True)
+class Between:
+    """``expr BETWEEN lo AND hi`` (inclusive on both ends)."""
+
+    expr: Any
+    lo: Any
+    hi: Any
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr IN (v1, v2, ...)``."""
+
+    expr: Any
+    values: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Like:
+    """``expr LIKE 'pattern'`` with ``%`` wildcards."""
+
+    expr: Any
+    pattern: str
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """An aggregate function call; ``arg`` is ``None`` for ``COUNT(*)``."""
+
+    func: str
+    arg: Optional[Any] = None
+
+    def __post_init__(self):
+        if self.func not in AGG_FUNCS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+
+
+def columns_of(node):
+    """Return the set of column names referenced by an expression."""
+    if isinstance(node, Col):
+        return {node.name}
+    if isinstance(node, Const):
+        return set()
+    if isinstance(node, BinOp) or isinstance(node, Cmp):
+        return columns_of(node.left) | columns_of(node.right)
+    if isinstance(node, (And, Or)):
+        out = set()
+        for p in node.parts:
+            out |= columns_of(p)
+        return out
+    if isinstance(node, Not):
+        return columns_of(node.part)
+    if isinstance(node, Between):
+        return columns_of(node.expr) | columns_of(node.lo) | columns_of(node.hi)
+    if isinstance(node, (InList, Like)):
+        return columns_of(node.expr)
+    if isinstance(node, AggCall):
+        return columns_of(node.arg) if node.arg is not None else set()
+    raise TypeError(f"not an expression: {node!r}")
+
+
+def contains_agg(node):
+    """Whether an expression contains an aggregate call."""
+    if isinstance(node, AggCall):
+        return True
+    if isinstance(node, (Col, Const)):
+        return False
+    if isinstance(node, (BinOp, Cmp)):
+        return contains_agg(node.left) or contains_agg(node.right)
+    if isinstance(node, (And, Or)):
+        return any(contains_agg(p) for p in node.parts)
+    if isinstance(node, Not):
+        return contains_agg(node.part)
+    if isinstance(node, Between):
+        return contains_agg(node.expr)
+    if isinstance(node, (InList, Like)):
+        return contains_agg(node.expr)
+    raise TypeError(f"not an expression: {node!r}")
+
+
+def op_count(node):
+    """Rough number of primitive operations to evaluate an expression."""
+    if isinstance(node, (Col, Const)):
+        return 0
+    if isinstance(node, (BinOp, Cmp)):
+        return 1 + op_count(node.left) + op_count(node.right)
+    if isinstance(node, (And, Or)):
+        return sum(1 + op_count(p) for p in node.parts)
+    if isinstance(node, Not):
+        return 1 + op_count(node.part)
+    if isinstance(node, Between):
+        return 2 + op_count(node.expr)
+    if isinstance(node, InList):
+        return len(node.values) + op_count(node.expr)
+    if isinstance(node, Like):
+        return 4 + op_count(node.expr)
+    if isinstance(node, AggCall):
+        return 1 + (op_count(node.arg) if node.arg is not None else 0)
+    raise TypeError(f"not an expression: {node!r}")
+
+
+def like_matcher(pattern):
+    """Compile a SQL LIKE pattern (``%`` wildcards only) to a predicate."""
+    parts = pattern.split("%")
+    if len(parts) == 1:
+        return lambda s: s == pattern
+    head, tail, middles = parts[0], parts[-1], [p for p in parts[1:-1] if p]
+
+    def match(s):
+        if not isinstance(s, str):
+            return False
+        if head and not s.startswith(head):
+            return False
+        if tail and not s.endswith(tail):
+            return False
+        pos = len(head)
+        end = len(s) - len(tail)
+        for mid in middles:
+            found = s.find(mid, pos, end)
+            if found < 0:
+                return False
+            pos = found + len(mid)
+        return pos <= end
+
+    return match
+
+
+def compile_expr(node, positions):
+    """Compile an expression into ``fn(row) -> value``.
+
+    ``positions`` maps column names to indices in the row list.  Aggregate
+    calls cannot be compiled here (the executor handles them separately).
+    """
+    if isinstance(node, Col):
+        idx = positions[node.name]
+        return lambda row: row[idx]
+    if isinstance(node, Const):
+        value = node.value
+        return lambda row: value
+    if isinstance(node, BinOp):
+        fn = _ARITH_OPS[node.op]
+        left = compile_expr(node.left, positions)
+        right = compile_expr(node.right, positions)
+        return lambda row: fn(left(row), right(row))
+    if isinstance(node, Cmp):
+        fn = _CMP_OPS[node.op]
+        left = compile_expr(node.left, positions)
+        right = compile_expr(node.right, positions)
+        return lambda row: fn(left(row), right(row))
+    if isinstance(node, And):
+        parts = [compile_expr(p, positions) for p in node.parts]
+        return lambda row: all(p(row) for p in parts)
+    if isinstance(node, Or):
+        parts = [compile_expr(p, positions) for p in node.parts]
+        return lambda row: any(p(row) for p in parts)
+    if isinstance(node, Not):
+        part = compile_expr(node.part, positions)
+        return lambda row: not part(row)
+    if isinstance(node, Between):
+        e = compile_expr(node.expr, positions)
+        lo = compile_expr(node.lo, positions)
+        hi = compile_expr(node.hi, positions)
+        return lambda row: lo(row) <= e(row) <= hi(row)
+    if isinstance(node, InList):
+        e = compile_expr(node.expr, positions)
+        values = frozenset(v.value if isinstance(v, Const) else v for v in node.values)
+        return lambda row: e(row) in values
+    if isinstance(node, Like):
+        e = compile_expr(node.expr, positions)
+        match = like_matcher(node.pattern)
+        return lambda row: match(e(row))
+    if isinstance(node, AggCall):
+        raise TypeError("aggregate calls are evaluated by the executor, not compiled")
+    raise TypeError(f"not an expression: {node!r}")

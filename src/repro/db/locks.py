@@ -1,0 +1,103 @@
+"""The Lock Management Module: datalocks, metalocks, and their hash tables.
+
+Postgres95 distinguishes *metalocks* (spinlocks protecting its own
+structures) from *datalocks* (multi-type locks protecting database data).
+Of the datalock levels, only the relation level is fully implemented --
+exactly the limitation the paper notes, and harmless here because the
+traced queries are read-only.
+
+Every datalock operation goes through the ``LockMgrLock`` spinlock and the
+two shared hash tables (Lock Hash keyed by lockable object, Xid Hash keyed
+by (transaction, object)).  The paper's Figure 7 attributes a large share
+of Q3's metadata misses to precisely this traffic (``LockSLock``,
+``LockHash``, ``XidHash``).
+"""
+
+from enum import IntEnum
+
+from repro.memsim.events import DataClass, busy, lock_acquire, lock_release, read, write
+
+LOCKMGR_LOCK_ID = "LockMgrLock"
+
+
+class LockMode(IntEnum):
+    """Datalock modes, weakest to strongest."""
+
+    READ = 0
+    WRITE = 1
+
+
+class LockConflictError(RuntimeError):
+    """A datalock request conflicted (cannot happen in read-only runs)."""
+
+
+def _conflicts(held_mode, requested_mode):
+    return held_mode == LockMode.WRITE or requested_mode == LockMode.WRITE
+
+
+class LockManager:
+    """Relation-level multi-type datalocks behind the LockMgrLock spinlock."""
+
+    def __init__(self, shmem, cost_model):
+        self.shmem = shmem
+        self.cost = cost_model
+        # (relation oid) -> {xid: mode}
+        self._held = {}
+
+    # -- traced protocol ------------------------------------------------------------
+
+    def acquire(self, rel_oid, xid, mode=LockMode.READ):
+        """Traced generator: acquire a relation datalock for ``xid``.
+
+        Read locks never conflict with each other; a conflicting request
+        raises (the traced workloads are read-only, so waiting queues are
+        not modeled).
+        """
+        shmem = self.shmem
+        yield lock_acquire(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr, DataClass.LOCKSLOCK)
+        yield read(shmem.lock_hash_addr(rel_oid), 32, DataClass.LOCKHASH)
+        holders = self._held.setdefault(rel_oid, {})
+        for held_xid, held_mode in holders.items():
+            if held_xid != xid and _conflicts(held_mode, mode):
+                yield lock_release(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr,
+                                   DataClass.LOCKSLOCK)
+                raise LockConflictError(
+                    f"xid {xid} requested {mode.name} on relation {rel_oid} "
+                    f"held {held_mode.name} by xid {held_xid}"
+                )
+        holders[xid] = max(holders.get(xid, mode), mode)
+        yield write(shmem.lock_hash_addr(rel_oid) + 16, 16, DataClass.LOCKHASH)
+        yield read(shmem.xid_hash_addr(rel_oid * 31 + xid), 16, DataClass.XIDHASH)
+        yield write(shmem.xid_hash_addr(rel_oid * 31 + xid) + 8, 8, DataClass.XIDHASH)
+        yield lock_release(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr, DataClass.LOCKSLOCK)
+        yield busy(self.cost.lock_acquire)
+
+    def check(self, rel_oid, xid):
+        """Traced generator: re-validate a held lock (per index rescan).
+
+        This is the lock-manager interaction that makes Index queries hammer
+        ``LockSLock`` continuously in the paper.
+        """
+        shmem = self.shmem
+        yield lock_acquire(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr, DataClass.LOCKSLOCK)
+        yield read(shmem.lock_hash_addr(rel_oid), 32, DataClass.LOCKHASH)
+        yield lock_release(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr, DataClass.LOCKSLOCK)
+        yield read(shmem.xid_hash_addr(rel_oid * 31 + xid), 16, DataClass.XIDHASH)
+        yield busy(self.cost.lock_check)
+
+    def release(self, rel_oid, xid):
+        """Traced generator: drop ``xid``'s datalock on a relation."""
+        shmem = self.shmem
+        yield lock_acquire(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr, DataClass.LOCKSLOCK)
+        yield read(shmem.lock_hash_addr(rel_oid), 32, DataClass.LOCKHASH)
+        holders = self._held.get(rel_oid, {})
+        holders.pop(xid, None)
+        yield write(shmem.lock_hash_addr(rel_oid) + 16, 16, DataClass.LOCKHASH)
+        yield write(shmem.xid_hash_addr(rel_oid * 31 + xid) + 8, 8, DataClass.XIDHASH)
+        yield lock_release(LOCKMGR_LOCK_ID, shmem.lockmgr_lock_addr, DataClass.LOCKSLOCK)
+
+    # -- untraced inspection -------------------------------------------------------
+
+    def holders(self, rel_oid):
+        """Return ``{xid: mode}`` currently holding the relation lock."""
+        return dict(self._held.get(rel_oid, {}))

@@ -1,0 +1,437 @@
+"""Heuristic query optimizer producing left-deep plan trees.
+
+The planner mimics Postgres95's optimizer at the level the paper cares
+about: which select algorithm each table gets (Index Scan vs Sequential
+Scan), the left-deep join order, and the join algorithms (Nested Loop,
+Merge, Hash).  Selectivity estimates come from simple per-column statistics
+(distinct count, min, max).
+
+Two queries in the paper's Table 1 use join methods that a textbook cost
+model would not pick (Q12's merge join, Q16's hash join on an indexed
+column); for those, queries may pass *join hints* -- an explicit, honest
+stand-in for the quirks of Postgres95's cost model.  Hints map an inner
+table name to ``"merge"`` or ``"hash"``.
+"""
+
+from repro.db.expr import (
+    AggCall, And, Between, Cmp, Col, Const, InList, Like, Not, Or,
+    columns_of, contains_agg,
+)
+from repro.db.plan import (
+    Aggregate, Group, HashJoin, IndexScan, MergeJoin, NestLoop, Param,
+    Project, SeqScan, Sort,
+)
+
+INDEX_SELECTIVITY_THRESHOLD = 0.25
+DEFAULT_COLCOL_SELECTIVITY = 0.33
+DEFAULT_LIKE_SELECTIVITY = 0.05
+
+
+class PlanError(ValueError):
+    """Raised when a statement cannot be planned."""
+
+
+class Planner:
+    """Plans parsed single-block SELECT statements against a Database."""
+
+    def __init__(self, db):
+        self.db = db
+
+    # -- public entry ------------------------------------------------------------
+
+    def plan(self, stmt, hints=None):
+        """Return a plan tree for ``stmt``.
+
+        ``hints`` maps inner-table names to ``"merge"``/``"hash"`` to force
+        that join algorithm when the table is attached to the join tree.
+        """
+        hints = hints or {}
+        tables = stmt.tables
+        for t in tables:
+            if t not in self.db.tables:
+                raise PlanError(f"unknown table {t!r}")
+        col_table = self._resolve_columns(stmt, tables)
+
+        table_preds, join_preds = self._classify_predicates(stmt.where, col_table)
+        needed = self._needed_columns(stmt, col_table, join_preds)
+
+        order = self._join_order(tables, table_preds, join_preds)
+        tree, joined = self._initial_scan(order[0], table_preds, needed, col_table)
+        est = self._scan_estimate(order[0], table_preds)
+        remaining_joins = list(join_preds)
+        for t in order[1:]:
+            tree, est = self._attach(
+                tree, joined, t, table_preds, remaining_joins, needed, est, hints
+            )
+            joined.add(t)
+
+        return self._finish(stmt, tree, col_table)
+
+    # -- resolution ---------------------------------------------------------------
+
+    def _resolve_columns(self, stmt, tables):
+        col_table = {}
+        for t in tables:
+            for c in self.db.tables[t].schema.names():
+                if c in col_table:
+                    raise PlanError(f"ambiguous column {c!r}")
+                col_table[c] = t
+        referenced = set()
+        for item in stmt.items:
+            referenced |= columns_of(item.expr)
+        for pred in stmt.where:
+            referenced |= columns_of(pred)
+        referenced |= set(stmt.group_by)
+        aliases = {item.alias for item in stmt.items if item.alias}
+        for o in stmt.order_by:
+            if o.key not in aliases:
+                referenced.add(o.key)
+        unknown = referenced - set(col_table)
+        if unknown:
+            raise PlanError(f"unknown columns {sorted(unknown)}")
+        return col_table
+
+    def _classify_predicates(self, where, col_table):
+        table_preds = {}
+        join_preds = []
+        for pred in where:
+            cols = columns_of(pred)
+            touched = {col_table[c] for c in cols}
+            if (
+                isinstance(pred, Cmp) and pred.op == "="
+                and isinstance(pred.left, Col) and isinstance(pred.right, Col)
+                and len(touched) == 2
+            ):
+                join_preds.append((pred.left.name, pred.right.name))
+            elif len(touched) <= 1:
+                table = touched.pop() if touched else None
+                if table is None:
+                    raise PlanError(f"constant predicate not supported: {pred!r}")
+                table_preds.setdefault(table, []).append(pred)
+            else:
+                raise PlanError(f"non-equi cross-table predicate: {pred!r}")
+        return table_preds, join_preds
+
+    def _needed_columns(self, stmt, col_table, join_preds):
+        needed = {t: set() for t in set(col_table.values())}
+        cols = set()
+        for item in stmt.items:
+            cols |= columns_of(item.expr)
+        for pred in stmt.where:
+            cols |= columns_of(pred)
+        cols |= set(stmt.group_by)
+        aliases = {item.alias for item in stmt.items if item.alias}
+        for o in stmt.order_by:
+            if o.key not in aliases:
+                cols.add(o.key)
+        for c in cols:
+            needed[col_table[c]].add(c)
+        for a, b in join_preds:
+            needed[col_table[a]].add(a)
+            needed[col_table[b]].add(b)
+        return needed
+
+    # -- statistics ----------------------------------------------------------------
+
+    def _col_stats(self, table, col):
+        t = self.db.tables[table]
+        return t.stats()[t.schema.column_index(col)]
+
+    def _selectivity(self, table, pred):
+        """Estimated fraction of ``table`` rows passing ``pred``."""
+        if isinstance(pred, And):
+            out = 1.0
+            for p in pred.parts:
+                out *= self._selectivity(table, p)
+            return out
+        if isinstance(pred, Or):
+            out = 0.0
+            for p in pred.parts:
+                out += self._selectivity(table, p)
+            return min(out, 1.0)
+        if isinstance(pred, Not):
+            return 1.0 - self._selectivity(table, pred.part)
+        if isinstance(pred, Cmp):
+            left_col = isinstance(pred.left, Col)
+            right_col = isinstance(pred.right, Col)
+            if left_col and right_col:
+                return DEFAULT_COLCOL_SELECTIVITY
+            if not left_col and not right_col:
+                return 1.0
+            col = pred.left.name if left_col else pred.right.name
+            const = pred.right if left_col else pred.left
+            if not isinstance(const, Const):
+                return DEFAULT_COLCOL_SELECTIVITY
+            distinct, lo, hi = self._col_stats(table, col)
+            op = pred.op if left_col else _flip(pred.op)
+            if op == "=":
+                return 1.0 / max(distinct, 1)
+            if op in ("<>", "!="):
+                return 1.0 - 1.0 / max(distinct, 1)
+            if not isinstance(lo, (int, float)) or hi == lo:
+                return 0.5
+            frac = (const.value - lo) / (hi - lo)
+            frac = min(max(frac, 0.0), 1.0)
+            return frac if op in ("<", "<=") else 1.0 - frac
+        if isinstance(pred, Between):
+            if not isinstance(pred.expr, Col):
+                return 0.25
+            distinct, lo, hi = self._col_stats(table, pred.expr.name)
+            if (not isinstance(lo, (int, float)) or hi == lo
+                    or not isinstance(pred.lo, Const) or not isinstance(pred.hi, Const)):
+                return 0.25
+            span = hi - lo
+            frac = (min(pred.hi.value, hi) - max(pred.lo.value, lo)) / span
+            return min(max(frac, 0.0), 1.0)
+        if isinstance(pred, InList):
+            if not isinstance(pred.expr, Col):
+                return 0.25
+            distinct, _, _ = self._col_stats(table, pred.expr.name)
+            return min(len(pred.values) / max(distinct, 1), 1.0)
+        if isinstance(pred, Like):
+            return DEFAULT_LIKE_SELECTIVITY
+        return 0.5
+
+    def _scan_estimate(self, table, table_preds):
+        rows = self.db.tables[table].n_rows
+        sel = 1.0
+        for pred in table_preds.get(table, []):
+            sel *= self._selectivity(table, pred)
+        return max(rows * sel, 1.0)
+
+    # -- join-order and access-path selection ------------------------------------------
+
+    def _join_order(self, tables, table_preds, join_preds):
+        if len(tables) == 1:
+            return list(tables)
+        remaining = set(tables)
+        estimates = {t: self._scan_estimate(t, table_preds) for t in tables}
+        # Driver: the filtered table with the smallest estimated output.
+        filtered = [t for t in tables if table_preds.get(t)] or list(tables)
+        driver = min(filtered, key=lambda t: estimates[t])
+        order = [driver]
+        remaining.discard(driver)
+        while remaining:
+            connected = [
+                t for t in remaining
+                if any(_connects(p, order, t, self._table_of) for p in join_preds)
+            ]
+            if not connected:
+                raise PlanError(
+                    f"cartesian product needed for tables {sorted(remaining)}"
+                )
+            nxt = min(connected, key=lambda t: estimates[t])
+            order.append(nxt)
+            remaining.discard(nxt)
+        return order
+
+    def _table_of(self, col):
+        for t in self.db.tables.values():
+            if col in t.schema:
+                return t.name
+        raise PlanError(f"unknown column {col!r}")
+
+    def _pick_index(self, table, preds):
+        """Choose an index access path for a driver table.
+
+        Returns ``(index_name, eq_values, lo, hi, lo_incl, hi_incl,
+        residual_preds)`` or ``None``.
+        """
+        best = None
+        for ix in self.db.table_indexes(table):
+            first = ix.key_cols[0]
+            eq_const = None
+            lo = hi = None
+            lo_incl = hi_incl = True
+            used = []
+            for pred in preds:
+                if isinstance(pred, Cmp) and isinstance(pred.left, Col) \
+                        and pred.left.name == first and isinstance(pred.right, Const):
+                    if pred.op == "=" and eq_const is None:
+                        eq_const = pred.right.value
+                        used.append(pred)
+                    elif pred.op in ("<", "<="):
+                        hi, hi_incl = pred.right.value, pred.op == "<="
+                        used.append(pred)
+                    elif pred.op in (">", ">="):
+                        lo, lo_incl = pred.right.value, pred.op == ">="
+                        used.append(pred)
+                elif isinstance(pred, Between) and isinstance(pred.expr, Col) \
+                        and pred.expr.name == first and isinstance(pred.lo, Const) \
+                        and isinstance(pred.hi, Const):
+                    lo, hi = pred.lo.value, pred.hi.value
+                    used.append(pred)
+            if not used:
+                continue
+            sel = 1.0
+            for pred in used:
+                sel *= self._selectivity(table, pred)
+            if sel > INDEX_SELECTIVITY_THRESHOLD:
+                continue
+            if best is None or sel < best[0]:
+                residual = [p for p in preds if p not in used]
+                if eq_const is not None:
+                    best = (sel, ix.name, (Const(eq_const),), None, None,
+                            True, True, residual)
+                else:
+                    best = (sel, ix.name, (), lo, hi, lo_incl, hi_incl, residual)
+        return best[1:] if best else None
+
+    def _initial_scan(self, table, table_preds, needed, col_table):
+        preds = table_preds.get(table, [])
+        output = sorted(needed[table])
+        path = self._pick_index(table, preds)
+        if path is not None:
+            ix_name, eq, lo, hi, lo_incl, hi_incl, residual = path
+            scan = IndexScan(
+                output=output, table=table, index=ix_name, eq_values=eq,
+                lo=lo, hi=hi, lo_incl=lo_incl, hi_incl=hi_incl,
+                pred=_combine(residual),
+            )
+        else:
+            scan = SeqScan(output=output, table=table, pred=_combine(preds))
+        return scan, {table}
+
+    def _attach(self, tree, joined, table, table_preds, join_preds, needed,
+                est, hints):
+        """Attach ``table`` to the left-deep tree; returns (tree, new_est).
+
+        The first applicable equi-predicate becomes the join key; any other
+        predicates connecting ``table`` to the joined set become a residual
+        join filter.  ``join_preds`` is mutated: consumed predicates are
+        removed.
+        """
+        outer_col = inner_col = None
+        extra = []
+        for a, b in list(join_preds):
+            ta, tb = self._table_of(a), self._table_of(b)
+            if ta in joined and tb == table:
+                pair = (a, b)
+            elif tb in joined and ta == table:
+                pair = (b, a)
+            else:
+                continue
+            join_preds.remove((a, b))
+            if outer_col is None:
+                outer_col, inner_col = pair
+            else:
+                extra.append(Cmp("=", Col(pair[0]), Col(pair[1])))
+        if outer_col is None:
+            raise PlanError(f"no join predicate connects {table}")
+        join_filter = _combine(extra)
+
+        preds = table_preds.get(table, [])
+        output = sorted(needed[table])
+        inner_table = self.db.tables[table]
+        distinct, _, _ = self._col_stats(table, inner_col)
+        sel = 1.0
+        for pred in preds:
+            sel *= self._selectivity(table, pred)
+        new_est = max(est * (inner_table.n_rows / max(distinct, 1)) * sel, 1.0)
+
+        hint = hints.get(table)
+        index = self._index_on(table, inner_col)
+        if hint == "hash" or (index is None and hint != "merge"):
+            scan = SeqScan(output=output, table=table, pred=_combine(preds))
+            return HashJoin(
+                output=scan.output + tree.output, outer=scan, inner=tree,
+                outer_key=inner_col, inner_key=outer_col, filter=join_filter,
+            ), new_est
+        if index is None:
+            raise PlanError(f"merge hint on {table} requires an index on {inner_col}")
+        inner_scan = IndexScan(
+            output=output, table=table, index=index.name,
+            eq_values=(Param(outer_col),), pred=_combine(preds),
+        )
+        if hint == "merge":
+            sorted_outer = Sort(output=tree.output, child=tree,
+                                keys=[(outer_col, True)])
+            return MergeJoin(
+                output=tree.output + inner_scan.output, outer=sorted_outer,
+                inner=inner_scan, outer_key=outer_col, filter=join_filter,
+            ), new_est
+        return NestLoop(
+            output=tree.output + inner_scan.output, outer=tree, inner=inner_scan,
+            filter=join_filter,
+        ), new_est
+
+    def _index_on(self, table, col):
+        for ix in self.db.table_indexes(table):
+            if ix.key_cols[0] == col:
+                return ix
+        return None
+
+    # -- grouping, aggregation, projection, ordering -------------------------------------
+
+    def _finish(self, stmt, tree, col_table):
+        aggs = []
+
+        def extract(expr):
+            if isinstance(expr, AggCall):
+                name = f"_agg{len(aggs)}"
+                aggs.append((expr.func, expr.arg, name))
+                return Col(name)
+            if isinstance(expr, (Col, Const)):
+                return expr
+            if hasattr(expr, "left"):
+                return type(expr)(expr.op, extract(expr.left), extract(expr.right))
+            raise PlanError(f"unsupported select expression over aggregates: {expr!r}")
+
+        out_names = []
+        out_exprs = []
+        for i, item in enumerate(stmt.items):
+            rewritten = extract(item.expr) if contains_agg(item.expr) else item.expr
+            out_exprs.append(rewritten)
+            if item.alias:
+                out_names.append(item.alias)
+            elif isinstance(item.expr, Col):
+                out_names.append(item.expr.name)
+            else:
+                out_names.append(f"col{i}")
+
+        if stmt.group_by:
+            sort_keys = [(c, True) for c in stmt.group_by]
+            tree = Sort(output=tree.output, child=tree, keys=sort_keys)
+            tree = Group(
+                output=list(stmt.group_by) + [n for _, _, n in aggs],
+                child=tree, group_cols=list(stmt.group_by), aggs=aggs,
+            )
+        elif aggs:
+            tree = Aggregate(
+                output=[n for _, _, n in aggs], child=tree, aggs=aggs,
+            )
+
+        tree = Project(output=out_names, child=tree, exprs=out_exprs)
+
+        if stmt.order_by:
+            already = stmt.group_by and all(
+                o.asc and i < len(stmt.group_by) and o.key == stmt.group_by[i]
+                for i, o in enumerate(stmt.order_by)
+            )
+            if not already:
+                for o in stmt.order_by:
+                    if o.key not in out_names:
+                        raise PlanError(
+                            f"ORDER BY key {o.key!r} is not in the select list"
+                        )
+                tree = Sort(output=tree.output, child=tree,
+                            keys=[(o.key, o.asc) for o in stmt.order_by])
+        return tree
+
+
+def _flip(op):
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+
+
+def _combine(preds):
+    if not preds:
+        return None
+    if len(preds) == 1:
+        return preds[0]
+    return And(tuple(preds))
+
+
+def _connects(join_pred, order, table, table_of):
+    a, b = join_pred
+    ta, tb = table_of(a), table_of(b)
+    return (ta in order and tb == table) or (tb in order and ta == table)

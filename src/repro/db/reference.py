@@ -1,0 +1,177 @@
+"""Reference query evaluator: an independent, untraced implementation.
+
+Tests compare the plan executor's output against this module.  It shares
+no code with the executor: predicates are applied per table, joins are
+simple hash joins in FROM-list order, grouping and ordering use plain
+dict/sort operations.  Correct-but-slow by design; run it at test scales.
+"""
+
+from repro.db.executor import _agg_final, _agg_init, _agg_step, sort_rows
+from repro.db.expr import AggCall, Col, Cmp, columns_of, compile_expr, contains_agg
+
+
+class ReferenceError(ValueError):
+    """Raised when a statement is outside the reference evaluator's scope."""
+
+
+def _split_where(stmt, col_table):
+    per_table = {}
+    joins = []
+    for pred in stmt.where:
+        cols = columns_of(pred)
+        tables = {col_table[c] for c in cols}
+        if (isinstance(pred, Cmp) and pred.op == "=" and len(tables) == 2
+                and isinstance(pred.left, Col) and isinstance(pred.right, Col)):
+            joins.append((pred.left.name, pred.right.name))
+        elif len(tables) == 1:
+            per_table.setdefault(tables.pop(), []).append(pred)
+        else:
+            raise ReferenceError(f"unsupported cross-table predicate {pred!r}")
+    return per_table, joins
+
+
+def evaluate(db, stmt):
+    """Evaluate a parsed statement; returns rows as lists of values."""
+    col_table = {}
+    for t in stmt.tables:
+        for c in db.tables[t].schema.names():
+            col_table[c] = t
+    per_table, joins = _split_where(stmt, col_table)
+
+    # Filter each table independently.
+    filtered = {}
+    for t in stmt.tables:
+        table = db.tables[t]
+        positions = {c: i for i, c in enumerate(table.schema.names())}
+        preds = [compile_expr(p, positions) for p in per_table.get(t, [])]
+        filtered[t] = [
+            row for rid, row in enumerate(table.rows)
+            if rid not in table.deleted and all(p(row) for p in preds)
+        ]
+
+    # Join in FROM order with hash joins on the available equi-predicates.
+    first = stmt.tables[0]
+    env_cols = list(db.tables[first].schema.names())
+    env_rows = [list(r) for r in filtered[first]]
+    joined = {first}
+    pending = list(stmt.tables[1:])
+    while pending:
+        attached = None
+        for t in pending:
+            keys = []
+            for a, b in joins:
+                ta, tb = col_table[a], col_table[b]
+                if ta in joined and tb == t:
+                    keys.append((a, b))
+                elif tb in joined and ta == t:
+                    keys.append((b, a))
+            if keys:
+                attached = (t, keys)
+                break
+        if attached is None:
+            raise ReferenceError("cartesian join required")
+        t, keys = attached
+        t_cols = list(db.tables[t].schema.names())
+        t_positions = {c: i for i, c in enumerate(t_cols)}
+        env_positions = {c: i for i, c in enumerate(env_cols)}
+        build = {}
+        for row in filtered[t]:
+            k = tuple(row[t_positions[y]] for _, y in keys)
+            build.setdefault(k, []).append(row)
+        new_rows = []
+        for erow in env_rows:
+            k = tuple(erow[env_positions[x]] for x, _ in keys)
+            for trow in build.get(k, []):
+                new_rows.append(erow + list(trow))
+        env_rows = new_rows
+        env_cols = env_cols + t_cols
+        joined.add(t)
+        pending.remove(t)
+
+    positions = {c: i for i, c in enumerate(env_cols)}
+
+    # Aggregation.
+    agg_items = [i for i in stmt.items if contains_agg(i.expr)]
+    if stmt.group_by or agg_items:
+        rows = _group_eval(stmt, env_rows, positions)
+        out_cols = _output_names(stmt)
+    else:
+        fns = [compile_expr(i.expr, positions) for i in stmt.items]
+        rows = [[fn(r) for fn in fns] for r in env_rows]
+        out_cols = _output_names(stmt)
+
+    if stmt.order_by:
+        name_pos = {c: i for i, c in enumerate(out_cols)}
+        specs = [(name_pos[o.key], o.asc) for o in stmt.order_by]
+        rows = sort_rows(rows, specs)
+    return rows
+
+
+def _output_names(stmt):
+    names = []
+    for i, item in enumerate(stmt.items):
+        if item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, Col):
+            names.append(item.expr.name)
+        else:
+            names.append(f"col{i}")
+    return names
+
+
+def _group_eval(stmt, env_rows, positions):
+    group_idx = [positions[c] for c in stmt.group_by]
+
+    aggs = []
+
+    def extract(expr):
+        if isinstance(expr, AggCall):
+            idx = len(aggs)
+            fn = compile_expr(expr.arg, positions) if expr.arg is not None else None
+            aggs.append((expr.func, fn))
+            return ("agg", idx)
+        if isinstance(expr, Col):
+            return ("col", positions[expr.name])
+        if hasattr(expr, "left"):
+            from repro.db.expr import _ARITH_OPS, _CMP_OPS
+            op = _ARITH_OPS.get(expr.op) or _CMP_OPS[expr.op]
+            left, right = extract(expr.left), extract(expr.right)
+            return ("op", op, left, right)
+        if hasattr(expr, "value"):
+            return ("const", expr.value)
+        raise ReferenceError(f"unsupported select expression {expr!r}")
+
+    shapes = [extract(i.expr) for i in stmt.items]
+
+    groups = {}
+    order = []
+    for row in env_rows:
+        key = tuple(row[i] for i in group_idx)
+        if key not in groups:
+            groups[key] = [_agg_init(f) for f, _ in aggs]
+            order.append(key)
+        accs = groups[key]
+        for j, (func, fn) in enumerate(aggs):
+            accs[j] = _agg_step(func, accs[j], fn(row) if fn else None)
+
+    if not stmt.group_by and not groups:
+        groups[()] = [_agg_init(f) for f, _ in aggs]
+        order.append(())
+
+    def render(shape, key, finals):
+        kind = shape[0]
+        if kind == "agg":
+            return finals[shape[1]]
+        if kind == "col":
+            pos = shape[1]
+            return key[group_idx.index(pos)]
+        if kind == "const":
+            return shape[1]
+        _, op, left, right = shape
+        return op(render(left, key, finals), render(right, key, finals))
+
+    out = []
+    for key in sorted(order) if stmt.group_by else order:
+        finals = [_agg_final(f, a) for (f, _), a in zip(aggs, groups[key])]
+        out.append([render(s, key, finals) for s in shapes])
+    return out

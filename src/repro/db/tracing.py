@@ -1,0 +1,47 @@
+"""Conventions and helpers for the engine's event-emitting generators.
+
+Every traced engine operation is a Python generator that *yields* memory
+events (tuples, see :mod:`repro.memsim.events`) and *returns* its result.
+Callers compose them with ``result = yield from op(...)`` so events
+propagate up to the interleaver while results flow through the call chain.
+
+Operator pipelines additionally yield *rows* (Python lists) interleaved
+with events; consumers discriminate with ``type(item) is list``.
+
+The helpers here run traced generators outside a simulation -- tests and
+the reference executor use them to get results while counting or
+discarding the events.
+"""
+
+
+def drain(gen):
+    """Run a traced generator to completion, discarding events.
+
+    Returns the generator's return value.
+    """
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def collect(gen):
+    """Run a traced generator; return ``(events, return_value)``."""
+    events = []
+    try:
+        while True:
+            events.append(next(gen))
+    except StopIteration as stop:
+        return events, stop.value
+
+
+def rows_and_events(gen):
+    """Split a row-yielding pipeline into ``(rows, events)`` lists."""
+    rows, events = [], []
+    for item in gen:
+        if type(item) is list:
+            rows.append(item)
+        else:
+            events.append(item)
+    return rows, events

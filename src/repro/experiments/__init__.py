@@ -1,0 +1,25 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(scale="small", ...)`` returning a plain dict of
+results plus a ``report(results)`` that renders the paper-style rows.  The
+``runner`` module provides the ``repro-experiments`` CLI over all of them.
+"""
+
+from repro.experiments import (
+    fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1,
+)
+
+REGISTRY = {
+    "table1": table1,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
+
+__all__ = ["REGISTRY", "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+           "fig11", "fig12", "fig13"]

@@ -1,0 +1,50 @@
+"""Figure 11: execution time vs cache size.
+
+Same sweep as Figure 10 with the Busy / MSync / SMem / PMem split.  Most of
+the speedup from larger caches comes from private data (PMem); Q3 also
+gains in SMem from index and metadata temporal locality.
+"""
+
+from repro.core.experiment import run_query_workload
+from repro.core.report import format_table
+from repro.tpcd.scales import get_scale
+
+QUERIES = ["Q3", "Q6", "Q12"]
+MULTIPLIERS = [1, 4, 16, 64]
+COMPONENTS = ["Busy", "MSync", "SMem", "PMem"]
+
+
+def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS):
+    """Return per-query, per-size time components (cycles)."""
+    sc = get_scale(scale)
+    results = {}
+    for qid in queries:
+        per_size = {}
+        for mult in multipliers:
+            cfg = sc.machine_config(l1_size=sc.l1_size * mult,
+                                    l2_size=sc.l2_size * mult)
+            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
+            comp = w.time_components()
+            comp["exec_time"] = w.exec_time
+            per_size[mult] = comp
+        results[qid] = per_size
+    return results
+
+
+def report(results):
+    """Render normalized execution-time bars per query."""
+    parts = []
+    for qid, per_size in results.items():
+        base = sum(per_size[1][c] for c in COMPONENTS) or 1
+        rows = [
+            [f"x{mult}"]
+            + [100.0 * per_size[mult][c] / base for c in COMPONENTS]
+            + [100.0 * sum(per_size[mult][c] for c in COMPONENTS) / base]
+            for mult in sorted(per_size)
+        ]
+        parts.append(format_table(
+            ["Cache size"] + COMPONENTS + ["Total"], rows,
+            title=f"Figure 11 {qid}: execution time vs cache size "
+                  f"(baseline = 100)",
+        ))
+    return "\n\n".join(parts)

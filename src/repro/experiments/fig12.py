@@ -1,0 +1,60 @@
+"""Figure 12: inter-query temporal locality (warm-start miss counts).
+
+Measures the secondary-cache misses of Q3 and Q12 in three setups: cold
+caches, caches warmed by another run of the same query (different
+parameters), and caches warmed by the other query.  Uses very large caches
+(256x the baseline, the paper's 1-MB/32-MB) to find the upper bound on
+reuse.
+
+Expected shapes: Q3-after-Q3 reuses indices; Q12-after-Q12 removes nearly
+all database-data misses (the whole ``lineitem`` table is reused);
+Q12-after-Q3 reuses little; metadata misses barely move -- they are mostly
+coherence misses, which a warm cache cannot avoid.
+"""
+
+from repro.core.experiment import run_warm_workload
+from repro.core.report import format_table
+from repro.tpcd.scales import get_scale
+
+SETUPS = [
+    ("Q3", None), ("Q3", "Q3"), ("Q3", "Q12"),
+    ("Q12", None), ("Q12", "Q12"), ("Q12", "Q3"),
+]
+GROUPS = ["Priv", "Data", "Index", "Metadata"]
+
+
+def run(scale="small", db=None, setups=SETUPS):
+    """Return grouped L2 miss counts for each (measured, warmed-by) pair."""
+    sc = get_scale(scale)
+    cfg = sc.huge_machine_config()
+    results = {}
+    for measure, warm in setups:
+        w = run_warm_workload(measure, warm, scale=sc, machine_config=cfg,
+                              db=db)
+        results[(measure, warm)] = {
+            "l2": {g: sum(v) for g, v in w.stats.grouped("l2").items()},
+            "exec_time": w.exec_time,
+        }
+    return results
+
+
+def report(results):
+    """Render, per measured query, misses normalized to its cold run."""
+    parts = []
+    for measured in ("Q3", "Q12"):
+        base = sum(results[(measured, None)]["l2"].values()) or 1
+        rows = []
+        for (m, warm), r in results.items():
+            if m != measured:
+                continue
+            label = "cold" if warm is None else f"after {warm}"
+            rows.append(
+                [label]
+                + [100.0 * r["l2"][g] / base for g in GROUPS]
+                + [100.0 * sum(r["l2"].values()) / base]
+            )
+        parts.append(format_table(
+            ["Setup"] + GROUPS + ["Total"], rows,
+            title=f"Figure 12: L2 misses for {measured} (cold = 100)",
+        ))
+    return "\n\n".join(parts)

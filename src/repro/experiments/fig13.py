@@ -1,0 +1,54 @@
+"""Figure 13: simple sequential prefetching of database data.
+
+For each access to database data, the hardware prefetches the next 4
+primary-cache lines into the primary cache (section 6 of the paper).
+Expected: modest gains (~5%) for the Sequential queries Q6 and Q12, and a
+small slowdown for the Index query Q3, whose random accesses turn the
+prefetches into pure cache pollution.
+"""
+
+from repro.core.experiment import run_query_workload
+from repro.core.report import format_table
+from repro.tpcd.scales import get_scale
+
+QUERIES = ["Q3", "Q6", "Q12"]
+COMPONENTS = ["Busy", "MSync", "SMem", "PMem"]
+
+
+def run(scale="small", db=None, queries=QUERIES):
+    """Return base-vs-prefetch time components per query."""
+    sc = get_scale(scale)
+    results = {}
+    for qid in queries:
+        base = run_query_workload(qid, scale=sc, db=db)
+        opt = run_query_workload(qid, scale=sc, db=db, prefetch=True)
+        results[qid] = {
+            "base": dict(base.time_components(), exec_time=base.exec_time),
+            "opt": dict(opt.time_components(), exec_time=opt.exec_time),
+            "speedup": base.exec_time / opt.exec_time,
+            "prefetches": opt.stats.prefetches_issued,
+        }
+    return results
+
+
+def report(results):
+    """Render Base/Opt bars per query, normalized to Base = 100."""
+    rows = []
+    for qid, r in results.items():
+        base_total = sum(r["base"][c] for c in COMPONENTS) or 1
+        for label in ("base", "opt"):
+            comp = r[label]
+            rows.append(
+                [f"{qid} {label}"]
+                + [100.0 * comp[c] / base_total for c in COMPONENTS]
+                + [100.0 * sum(comp[c] for c in COMPONENTS) / base_total]
+            )
+    table = format_table(
+        ["Run"] + COMPONENTS + ["Total"], rows,
+        title="Figure 13: impact of simple prefetching (Base = 100)",
+    )
+    gains = "  ".join(
+        f"{qid}: {100 * (1 - 1 / r['speedup']):+.1f}%"
+        for qid, r in results.items()
+    )
+    return table + f"\nExecution-time change (negative = slower): {gains}"

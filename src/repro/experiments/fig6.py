@@ -1,0 +1,50 @@
+"""Figure 6: execution-time breakdown and memory-stall decomposition.
+
+Chart (a): normalized execution time split into Busy / MSync / Mem for Q3,
+Q6 and Q12 on the baseline architecture.  Chart (b): the Mem portion split
+by the data structures causing the stall (Data / Index / Metadata / Priv).
+"""
+
+from repro.core.experiment import run_query_workload
+from repro.core.report import format_table, percent
+
+QUERIES = ["Q3", "Q6", "Q12"]
+
+
+def run(scale="small", db=None):
+    """Run the three queries on the baseline machine."""
+    results = {}
+    for qid in QUERIES:
+        w = run_query_workload(qid, scale=scale, db=db)
+        results[qid] = {
+            "breakdown": w.breakdown(),
+            "mem_breakdown": w.mem_breakdown(),
+            "exec_time": w.exec_time,
+            "miss_rates": {
+                "l1": w.stats.l1_miss_rate(),
+                "l2": w.stats.l2_miss_rate(),
+            },
+        }
+    return results
+
+
+def report(results):
+    """Render both charts as tables."""
+    rows_a = [
+        [qid] + [percent(r["breakdown"][k]) for k in ("Busy", "MSync", "Mem")]
+        for qid, r in results.items()
+    ]
+    rows_b = [
+        [qid] + [percent(r["mem_breakdown"][k])
+                 for k in ("Data", "Index", "Metadata", "Priv")]
+        for qid, r in results.items()
+    ]
+    part_a = format_table(
+        ["Query", "Busy", "MSync", "Mem"], rows_a,
+        title="Figure 6-(a): execution time breakdown",
+    )
+    part_b = format_table(
+        ["Query", "Data", "Index", "Metadata", "Priv"], rows_b,
+        title="Figure 6-(b): memory stall time by data structure",
+    )
+    return part_a + "\n\n" + part_b

@@ -1,0 +1,68 @@
+"""Figure 8: number of misses vs cache line size.
+
+Sweeps the secondary-cache line over 16..256 bytes (primary line fixed at
+half), counting misses per data-structure group in both caches, normalized
+to the baseline (32-byte L1 / 64-byte L2 lines).
+"""
+
+from repro.core.experiment import run_query_workload
+from repro.core.report import format_table
+from repro.tpcd.scales import get_scale
+
+QUERIES = ["Q3", "Q6", "Q12"]
+LINE_SIZES = [16, 32, 64, 128, 256]
+BASELINE_LINE = 64
+GROUPS = ["Priv", "Data", "Index", "Metadata"]
+
+
+def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES):
+    """Return per-query, per-line-size grouped miss counts for L1 and L2."""
+    sc = get_scale(scale)
+    results = {}
+    for qid in queries:
+        per_line = {}
+        for l2_line in line_sizes:
+            cfg = sc.machine_config(l1_line=l2_line // 2, l2_line=l2_line)
+            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
+            per_line[l2_line] = {
+                "l1": {g: sum(v) for g, v in w.stats.grouped("l1").items()},
+                "l2": {g: sum(v) for g, v in w.stats.grouped("l2").items()},
+                "exec_time": w.exec_time,
+            }
+        results[qid] = per_line
+    return results
+
+
+def normalized(results, level):
+    """Per query: {line_size: {group: misses normalized to baseline=100}}.
+
+    Normalization follows the paper: the baseline configuration's *total*
+    misses are 100, and every bar is scaled by the same factor.
+    """
+    out = {}
+    for qid, per_line in results.items():
+        base_total = sum(per_line[BASELINE_LINE][level].values()) or 1
+        out[qid] = {
+            line: {g: 100.0 * v / base_total for g, v in counts[level].items()}
+            for line, counts in per_line.items()
+        }
+    return out
+
+
+def report(results):
+    """Render the normalized miss counts for both cache levels."""
+    parts = []
+    for level in ("l1", "l2"):
+        norm = normalized(results, level)
+        for qid, per_line in norm.items():
+            rows = [
+                [f"{line}B"] + [per_line[line][g] for g in GROUPS]
+                + [sum(per_line[line].values())]
+                for line in sorted(per_line)
+            ]
+            parts.append(format_table(
+                ["L2 line"] + GROUPS + ["Total"], rows,
+                title=f"Figure 8 {qid} {level.upper()} misses "
+                      f"(baseline 64B = 100)",
+            ))
+    return "\n\n".join(parts)

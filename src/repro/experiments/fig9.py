@@ -1,0 +1,59 @@
+"""Figure 9: execution time vs cache line size.
+
+Same sweep as Figure 8, but reporting normalized execution time split into
+Busy / MSync / SMem / PMem.  The paper's conclusion: the minimum falls at
+64-byte secondary lines -- long lines help shared data (spatial locality)
+until the growing private-data misses win.
+"""
+
+from repro.core.experiment import run_query_workload
+from repro.core.report import format_table
+from repro.tpcd.scales import get_scale
+
+QUERIES = ["Q3", "Q6", "Q12"]
+LINE_SIZES = [16, 32, 64, 128, 256]
+BASELINE_LINE = 64
+COMPONENTS = ["Busy", "MSync", "SMem", "PMem"]
+
+
+def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES):
+    """Return per-query, per-line-size time components (cycles)."""
+    sc = get_scale(scale)
+    results = {}
+    for qid in queries:
+        per_line = {}
+        for l2_line in line_sizes:
+            cfg = sc.machine_config(l1_line=l2_line // 2, l2_line=l2_line)
+            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
+            comp = w.time_components()
+            comp["exec_time"] = w.exec_time
+            per_line[l2_line] = comp
+        results[qid] = per_line
+    return results
+
+
+def best_line_size(results, qid):
+    """Line size with the lowest execution time for ``qid``."""
+    per_line = results[qid]
+    return min(per_line, key=lambda k: per_line[k]["exec_time"])
+
+
+def report(results):
+    """Render normalized execution-time bars per query."""
+    parts = []
+    for qid, per_line in results.items():
+        base = sum(per_line[BASELINE_LINE][c] for c in COMPONENTS) or 1
+        rows = []
+        for line in sorted(per_line):
+            comp = per_line[line]
+            rows.append(
+                [f"{line}B"]
+                + [100.0 * comp[c] / base for c in COMPONENTS]
+                + [100.0 * sum(comp[c] for c in COMPONENTS) / base]
+            )
+        parts.append(format_table(
+            ["L2 line"] + COMPONENTS + ["Total"], rows,
+            title=f"Figure 9 {qid}: execution time vs line size "
+                  f"(64B = 100); best = {best_line_size(results, qid)}B",
+        ))
+    return "\n\n".join(parts)

@@ -1,0 +1,57 @@
+"""Command-line front end: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments table1 fig6 --scale small
+    repro-experiments all --scale paper     # the full 1/100 TPC-D sizing
+    REPRO_SCALE=paper repro-experiments all # same, via the environment
+"""
+
+import argparse
+import os
+import sys
+import time
+
+
+def main(argv=None):
+    from repro.experiments import REGISTRY
+
+    parser = argparse.ArgumentParser(
+        description="Reproduce the tables and figures of the HPCA 1997 "
+                    "DSS memory-performance paper.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (or 'all')")
+    parser.add_argument("--scale",
+                        default=os.environ.get("REPRO_SCALE", "small"),
+                        help="scale preset: tiny, small, medium, paper")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for name, mod in REGISTRY.items():
+            summary = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8s} {summary}")
+        return 0
+
+    names = list(REGISTRY) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        mod = REGISTRY[name]
+        start = time.time()
+        results = mod.run(scale=args.scale)
+        elapsed = time.time() - start
+        print(f"\n{'=' * 72}\n{name}  (scale={args.scale}, {elapsed:.1f}s)\n{'=' * 72}")
+        print(mod.report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

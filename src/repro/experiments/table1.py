@@ -1,0 +1,41 @@
+"""Table 1: operations in the read-only TPC-D queries.
+
+Plans every query with the paper's index set and reports which select,
+join, sort, group and aggregate operators appear, next to the paper's row.
+"""
+
+from repro.core.experiment import workload_database
+from repro.core.report import format_table
+from repro.tpcd.queries import QUERY_IDS, TABLE1_OPERATORS, query_instance
+
+COLUMNS = ["SS", "IS", "NL", "M", "H", "Sort", "Group", "Aggr"]
+
+
+def run(scale="small", db=None, seed=0):
+    """Plan all 17 queries; returns per-query operator sets and matches."""
+    db = db or workload_database(scale)
+    results = {}
+    for qid in QUERY_IDS:
+        qi = query_instance(qid, seed=seed)
+        ops = db.operator_set(qi.sql, hints=qi.hints)
+        results[qid] = {
+            "ops": ops,
+            "expected": TABLE1_OPERATORS[qid],
+            "match": ops == TABLE1_OPERATORS[qid],
+        }
+    return results
+
+
+def report(results):
+    """Render the measured Table 1."""
+    rows = []
+    for qid, r in results.items():
+        rows.append(
+            [qid]
+            + ["x" if c in r["ops"] else "" for c in COLUMNS]
+            + ["yes" if r["match"] else "NO"]
+        )
+    return format_table(
+        ["Query"] + COLUMNS + ["matches paper"], rows,
+        title="Table 1: operations in the read-only TPC-D queries",
+    )

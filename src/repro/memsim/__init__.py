@@ -1,0 +1,71 @@
+"""Execution-driven memory-system simulator for a 4-node CC-NUMA machine.
+
+This package models the architecture of the paper (HPCA 1997, section 4.3):
+per-node direct-mapped primary caches and 2-way set-associative secondary
+caches, a 16-entry write buffer, directory-based invalidation coherence, a
+fixed-latency interconnect, and an optional sequential prefetcher for
+database data.
+
+The simulator consumes *reference streams*: each simulated processor is a
+Python generator yielding typed events (reads, writes, busy cycles and
+spinlock operations).  The interleaver advances the processor with the
+smallest clock, which reproduces the interleaved execution that the paper
+obtained from the Mint simulation package.
+"""
+
+from repro.memsim.events import (
+    EV_BUSY,
+    EV_HIT,
+    EV_LOCK_ACQ,
+    EV_LOCK_REL,
+    EV_READ,
+    EV_WRITE,
+    CLASS_NAMES,
+    DataClass,
+    METADATA_CLASSES,
+    N_CLASSES,
+    busy,
+    hit,
+    lock_acquire,
+    lock_release,
+    read,
+    write,
+)
+from repro.memsim.cache import Cache, MISS_COLD, MISS_CONFLICT, MISS_COHERENCE, MISS_NAMES
+from repro.memsim.writebuffer import WriteBuffer
+from repro.memsim.directory import Directory
+from repro.memsim.numa import MachineConfig, NumaMachine
+from repro.memsim.stats import MachineStats, CpuStats
+from repro.memsim.interleave import Interleaver, RunResult
+
+__all__ = [
+    "EV_BUSY",
+    "EV_HIT",
+    "hit",
+    "EV_LOCK_ACQ",
+    "EV_LOCK_REL",
+    "EV_READ",
+    "EV_WRITE",
+    "CLASS_NAMES",
+    "DataClass",
+    "METADATA_CLASSES",
+    "N_CLASSES",
+    "busy",
+    "lock_acquire",
+    "lock_release",
+    "read",
+    "write",
+    "Cache",
+    "MISS_COLD",
+    "MISS_CONFLICT",
+    "MISS_COHERENCE",
+    "MISS_NAMES",
+    "WriteBuffer",
+    "Directory",
+    "MachineConfig",
+    "NumaMachine",
+    "MachineStats",
+    "CpuStats",
+    "Interleaver",
+    "RunResult",
+]

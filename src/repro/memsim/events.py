@@ -1,0 +1,110 @@
+"""Event vocabulary shared by the database engine and the simulator.
+
+The database engine executes queries for real and, as a side effect, emits a
+stream of events describing every reference it makes to simulated memory.
+Events are plain tuples for speed; the first element is a small integer tag.
+
+Event shapes
+------------
+``(EV_READ,  addr, size, cls)``   -- load of ``size`` bytes at ``addr``
+``(EV_WRITE, addr, size, cls)``   -- store of ``size`` bytes at ``addr``
+``(EV_BUSY,  cycles)``            -- computation between memory references
+``(EV_LOCK_ACQ, lock_id, addr, cls)`` -- spinlock acquire (test-and-set)
+``(EV_LOCK_REL, lock_id, addr, cls)`` -- spinlock release
+
+``cls`` is a :class:`DataClass` value identifying the software data
+structure the reference lands on, which is how the paper attributes misses
+(Figure 7) and stall time (Figure 6-(b)).
+"""
+
+from enum import IntEnum
+
+EV_READ = 0
+EV_WRITE = 1
+EV_BUSY = 2
+EV_LOCK_ACQ = 3
+EV_LOCK_REL = 4
+EV_HIT = 5
+
+
+class DataClass(IntEnum):
+    """Software data structure touched by a memory reference.
+
+    These are the categories of Figure 7 of the paper: private data, database
+    data (tuples in buffer blocks), database indices, and the metadata
+    structures of the buffer cache and lock management modules.
+    """
+
+    PRIV = 0
+    DATA = 1
+    INDEX = 2
+    BUFDESC = 3
+    BUFLOOK = 4
+    LOCKHASH = 5
+    XIDHASH = 6
+    LOCKSLOCK = 7
+    METAOTHER = 8
+
+
+N_CLASSES = len(DataClass)
+
+CLASS_NAMES = {
+    DataClass.PRIV: "Priv",
+    DataClass.DATA: "Data",
+    DataClass.INDEX: "Index",
+    DataClass.BUFDESC: "BufDesc",
+    DataClass.BUFLOOK: "BufLook",
+    DataClass.LOCKHASH: "LockHash",
+    DataClass.XIDHASH: "XidHash",
+    DataClass.LOCKSLOCK: "LockSLock",
+    DataClass.METAOTHER: "MetaOther",
+}
+
+#: Classes that the paper groups under the single label "Metadata".
+METADATA_CLASSES = frozenset(
+    {
+        DataClass.BUFDESC,
+        DataClass.BUFLOOK,
+        DataClass.LOCKHASH,
+        DataClass.XIDHASH,
+        DataClass.LOCKSLOCK,
+        DataClass.METAOTHER,
+    }
+)
+
+
+def read(addr, size, cls):
+    """Build a load event."""
+    return (EV_READ, addr, size, cls)
+
+
+def write(addr, size, cls):
+    """Build a store event."""
+    return (EV_WRITE, addr, size, cls)
+
+
+def busy(cycles):
+    """Build a computation event covering ``cycles`` processor cycles."""
+    return (EV_BUSY, cycles)
+
+
+def lock_acquire(lock_id, addr, cls=DataClass.LOCKSLOCK):
+    """Build a spinlock acquire event."""
+    return (EV_LOCK_ACQ, lock_id, addr, cls)
+
+
+def lock_release(lock_id, addr, cls=DataClass.LOCKSLOCK):
+    """Build a spinlock release event."""
+    return (EV_LOCK_REL, lock_id, addr, cls)
+
+
+def hit(count):
+    """Build an always-hit reference event covering ``count`` references.
+
+    This models the paper's scaled-methodology correction (section 4.2):
+    accesses to private *stack and static* variables are assumed to hit in
+    the cache.  They still exist -- they consume a cycle each and appear in
+    the access counts that miss rates are computed against -- but they are
+    never simulated against the cache hierarchy.
+    """
+    return (EV_HIT, count)

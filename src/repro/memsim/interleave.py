@@ -1,0 +1,163 @@
+"""Global-clock interleaver: the Mint-equivalent execution driver.
+
+Each simulated processor is a generator of events (see
+:mod:`repro.memsim.events`).  The interleaver always advances the processor
+with the smallest clock, so shared-memory interactions (coherence,
+spinlocks) happen in a consistent global time order, as they would under an
+execution-driven simulator.
+
+Spinlocks are modeled as test-and-test-and-set: a waiting processor spins
+on its cached copy of the lock word, re-reading it every ``spin_interval``
+cycles; the release store invalidates the waiters' copies, so lock handoff
+produces exactly the coherence misses on lock words that the paper observes
+(the ``LockSLock`` bars of Figure 7).  All cycles spent acquiring,
+spinning on, or releasing metalocks are accounted as *MSync* time.
+"""
+
+from repro.memsim.stats import CpuStats, merge_cpu_stats
+
+
+class LockProtocolError(RuntimeError):
+    """A stream acquired or released a spinlock it must not."""
+
+
+class RunResult:
+    """Outcome of one interleaved multi-processor run."""
+
+    def __init__(self, machine, cpu_stats):
+        self.machine = machine
+        self.cpu_stats = cpu_stats
+        self.total = merge_cpu_stats(cpu_stats)
+
+    @property
+    def exec_time(self):
+        """Wall-clock cycles: the last processor's finish time."""
+        return max(s.finish_time for s in self.cpu_stats)
+
+    def breakdown(self):
+        """Return the Figure 6-(a) breakdown as fractions of total cycles."""
+        t = self.total
+        denom = t.total or 1
+        return {"Busy": t.busy / denom, "MSync": t.msync / denom, "Mem": t.mem / denom}
+
+    def mem_breakdown(self):
+        """Return the Figure 6-(b) decomposition of memory stall time."""
+        groups = self.total.mem_grouped()
+        denom = sum(groups.values()) or 1
+        return {k: v / denom for k, v in groups.items()}
+
+    def time_components(self):
+        """Absolute cycles: Busy, MSync, SMem, PMem (Figures 9 and 11)."""
+        t = self.total
+        return {"Busy": t.busy, "MSync": t.msync, "SMem": t.smem, "PMem": t.pmem}
+
+
+class Interleaver:
+    """Drives N event streams through one :class:`NumaMachine`."""
+
+    def __init__(self, machine, spin_interval=30):
+        self.machine = machine
+        self.spin_interval = spin_interval
+
+    def run(self, streams, reset_stats=False):
+        """Interleave ``streams`` (one per processor) to completion.
+
+        ``streams`` may be shorter than the machine's node count; stream *i*
+        runs on node *i*.  When ``reset_stats`` is true, machine counters are
+        zeroed first while cache contents are kept (warm-start experiments).
+        """
+        machine = self.machine
+        if len(streams) > machine.config.n_nodes:
+            raise ValueError(
+                f"{len(streams)} streams but only {machine.config.n_nodes} nodes"
+            )
+        if reset_stats:
+            machine.reset_stats()
+
+        n = len(streams)
+        clocks = [0] * n
+        cpu_stats = [CpuStats() for _ in range(n)]
+        pending = [None] * n
+        alive = list(range(n))
+        lock_holder = {}
+        spin_interval = self.spin_interval
+        mread = machine.read
+        mwrite = machine.write
+
+        while alive:
+            cpu = min(alive, key=clocks.__getitem__)
+            stream = streams[cpu]
+            ev = pending[cpu]
+            if ev is None:
+                try:
+                    ev = next(stream)
+                except StopIteration:
+                    alive.remove(cpu)
+                    clocks[cpu] = machine.drain_time(cpu, clocks[cpu])
+                    cpu_stats[cpu].finish_time = clocks[cpu]
+                    continue
+            else:
+                pending[cpu] = None
+
+            kind = ev[0]
+            stats = cpu_stats[cpu]
+            stats.events += 1
+            now = clocks[cpu]
+
+            if kind == 0:  # EV_READ
+                stall = mread(cpu, ev[1], ev[2], ev[3], now)
+                stats.busy += 1
+                stats.mem_by_class[ev[3]] += stall
+                clocks[cpu] = now + 1 + stall
+            elif kind == 1:  # EV_WRITE
+                stall = mwrite(cpu, ev[1], ev[2], ev[3], now)
+                stats.busy += 1
+                stats.mem_by_class[ev[3]] += stall
+                clocks[cpu] = now + 1 + stall
+            elif kind == 2:  # EV_BUSY
+                stats.busy += ev[1]
+                clocks[cpu] = now + ev[1]
+            elif kind == 3:  # EV_LOCK_ACQ
+                lock_id, addr, cls = ev[1], ev[2], ev[3]
+                holder = lock_holder.get(lock_id)
+                if holder == cpu:
+                    raise LockProtocolError(
+                        f"cpu {cpu} re-acquired spinlock {lock_id!r}"
+                    )
+                if holder is None:
+                    # Test-and-set: read-modify-write on the lock word.
+                    cost = 2
+                    cost += mread(cpu, addr, 4, cls, now)
+                    cost += mwrite(cpu, addr, 4, cls, now + cost)
+                    stats.msync += cost
+                    clocks[cpu] = now + cost
+                    lock_holder[lock_id] = cpu
+                else:
+                    # Spin on the cached copy and retry later.
+                    wait = spin_interval
+                    holder_clock = clocks[holder]
+                    if holder_clock > now + wait:
+                        wait = holder_clock - now
+                    wait += mread(cpu, addr, 4, cls, now)
+                    stats.msync += wait
+                    clocks[cpu] = now + wait
+                    pending[cpu] = ev
+            elif kind == 5:  # EV_HIT: always-hit stack/static references
+                count = ev[1]
+                stats.busy += count
+                machine.stats.l1_reads += count
+                clocks[cpu] = now + count
+            elif kind == 4:  # EV_LOCK_REL
+                lock_id, addr, cls = ev[1], ev[2], ev[3]
+                if lock_holder.get(lock_id) != cpu:
+                    raise LockProtocolError(
+                        f"cpu {cpu} released spinlock {lock_id!r} it does not hold"
+                    )
+                del lock_holder[lock_id]
+                cost = 1 + mwrite(cpu, addr, 4, cls, now)
+                stats.msync += cost
+                clocks[cpu] = now + cost
+            else:
+                raise ValueError(f"unknown event kind {kind!r}")
+
+        return RunResult(machine, cpu_stats)

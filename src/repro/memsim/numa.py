@@ -1,0 +1,310 @@
+"""The 4-node CC-NUMA machine of the paper's section 4.3.
+
+Each node has a direct-mapped primary cache, a 2-way set-associative
+secondary cache (the L1 line is half the L2 line), and a 16-entry write
+buffer.  A full-map directory provides invalidation coherence; latencies
+follow the paper's round-trip numbers: L2 hit 16, local memory 80, 2-hop
+remote 249, 3-hop remote 351 cycles.  All contention is modeled except the
+interconnect, which delivers at a fixed delay -- the paper makes the same
+simplification.
+
+An optional hardware prefetcher (section 6 of the paper) issues fetches for
+the next 4 primary-cache lines on every access to database data.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.memsim.cache import Cache, MISS_COHERENCE
+from repro.memsim.directory import Directory
+from repro.memsim.events import DataClass
+from repro.memsim.stats import MachineStats
+from repro.memsim.writebuffer import WriteBuffer
+
+PAGE_SHIFT = 13  # 8-Kbyte buffer blocks / NUMA pages
+
+
+def default_home(addr):
+    """Round-robin 8-KB pages over 4 nodes (shared-data placement)."""
+    return (addr >> PAGE_SHIFT) & 3
+
+
+@dataclass
+class MachineConfig:
+    """Architecture parameters (defaults are the paper's *baseline*)."""
+
+    n_nodes: int = 4
+    l1_size: int = 4 * 1024
+    l1_line: int = 32
+    l1_assoc: int = 1
+    l2_size: int = 128 * 1024
+    l2_line: int = 64
+    l2_assoc: int = 2
+    wb_entries: int = 16
+    lat_l2: int = 16        # L1 miss satisfied by the secondary cache
+    lat_local: int = 80     # satisfied by local memory
+    lat_2hop: int = 249     # remote, clean (2-hop transaction)
+    lat_3hop: int = 351     # remote, dirty in a third node (3-hop)
+    wb_retire: int = 8      # L2 write-hit occupancy in the write buffer
+    # Transfer time grows with the line: extra cycles per 32-byte chunk of
+    # primary line beyond the first (L2->L1) and per 64-byte chunk of
+    # secondary line beyond the first (memory/remote->L2).
+    transfer_l2: int = 8
+    transfer_local: int = 30
+    transfer_remote: int = 52
+    prefetch_data: bool = False
+    prefetch_degree: int = 4
+    prefetch_drop_threshold: int = 120  # port backlog beyond which the
+                                        # prefetcher drops the rest of a burst
+
+    def __post_init__(self):
+        if self.l1_line * 2 != self.l2_line:
+            raise ValueError(
+                "the paper fixes the primary line at half the secondary line: "
+                f"got L1={self.l1_line} L2={self.l2_line}"
+            )
+        if self.l1_size % (self.l1_line * self.l1_assoc) != 0:
+            raise ValueError("L1 geometry does not divide evenly")
+        if self.l2_size % (self.l2_line * self.l2_assoc) != 0:
+            raise ValueError("L2 geometry does not divide evenly")
+
+    def with_lines(self, l2_line):
+        """Return a copy with ``l2_line``-byte secondary lines (L1 = half)."""
+        return self.replace(l1_line=l2_line // 2, l2_line=l2_line)
+
+    def with_cache_sizes(self, l1_size, l2_size):
+        """Return a copy with the given cache capacities."""
+        return self.replace(l1_size=l1_size, l2_size=l2_size)
+
+    def replace(self, **kwargs):
+        """Return a copy with the given fields replaced."""
+        values = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        values.update(kwargs)
+        return MachineConfig(**values)
+
+
+class NumaMachine:
+    """Simulates the memory hierarchy; consumes one reference at a time.
+
+    The machine is time-agnostic about instruction execution: callers pass
+    the current cycle count ``now`` and get back the number of stall cycles
+    the reference costs beyond the 1-cycle pipelined access.
+    """
+
+    def __init__(self, config=None, home_fn=None):
+        self.config = config or MachineConfig()
+        cfg = self.config
+        self.home_fn = home_fn or default_home
+        self.l1 = [Cache(cfg.l1_size, cfg.l1_line, cfg.l1_assoc, f"L1.{i}")
+                   for i in range(cfg.n_nodes)]
+        self.l2 = [Cache(cfg.l2_size, cfg.l2_line, cfg.l2_assoc, f"L2.{i}")
+                   for i in range(cfg.n_nodes)]
+        self.wb = [WriteBuffer(cfg.wb_entries) for _ in range(cfg.n_nodes)]
+        self.directory = Directory(cfg.n_nodes)
+        self.stats = MachineStats()
+        self._l1_shift = self.l1[0].line_shift
+        self._l2_shift = self.l2[0].line_shift
+        self._ratio_shift = self._l2_shift - self._l1_shift
+        self._pending_fill = {}
+        # Per-node memory-port availability: prefetch fills occupy the port
+        # and delay demand misses behind them (the "cache contention" cost
+        # of section 6 of the paper).
+        self._port_free = [0] * cfg.n_nodes
+        # Line-size-dependent latencies: a miss on a longer line takes
+        # longer to satisfy ("each miss takes longer, but there are many
+        # fewer misses" -- paper section 5.2.1).
+        l1_chunks = cfg.l1_line // 32 - 1
+        l2_chunks = max(cfg.l2_line // 64, 1) - 1
+        self.lat_l2 = cfg.lat_l2 + l1_chunks * cfg.transfer_l2
+        self.lat_local = cfg.lat_local + l2_chunks * cfg.transfer_local
+        self.lat_2hop = cfg.lat_2hop + l2_chunks * cfg.transfer_remote
+        self.lat_3hop = cfg.lat_3hop + l2_chunks * cfg.transfer_remote
+
+    # -- demand accesses -----------------------------------------------------
+
+    def read(self, node, addr, size, cls, now):
+        """Perform a load; return stall cycles beyond the pipelined cycle.
+
+        A load of ``size`` bytes counts as one reference per 4-byte word
+        (the paper's machines are 32-bit-word RISC processors; a tuple copy
+        is a run of word loads), but the cache is probed once per line.
+        """
+        shift = self._l1_shift
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
+        words = (size + 3) >> 2
+        lines = last - first + 1
+        if words > lines:
+            self.stats.l1_reads += words - lines
+        stall = self._read_line(node, first, cls, now)
+        while first < last:
+            first += 1
+            stall += self._read_line(node, first, cls, now + stall)
+        return stall
+
+    def write(self, node, addr, size, cls, now):
+        """Perform a store; return stall cycles (write-buffer overflow)."""
+        shift = self._l1_shift
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
+        words = (size + 3) >> 2
+        lines = last - first + 1
+        if words > lines:
+            self.stats.l1_writes += words - lines
+        stall = self._write_line(node, first, cls, now)
+        while first < last:
+            first += 1
+            stall += self._write_line(node, first, cls, now + stall)
+        return stall
+
+    # -- internals -----------------------------------------------------------
+
+    def _read_line(self, node, line1, cls, now):
+        stats = self.stats
+        stats.l1_reads += 1
+        l1 = self.l1[node]
+        if l1.lookup(line1):
+            pending = self._pending_fill
+            if pending:
+                key = (node, line1)
+                fill = pending.get(key)
+                if fill is not None:
+                    del pending[key]
+                    if fill > now:
+                        # Prefetch arrived late: wait out the remainder.
+                        stats.prefetch_late_cycles += fill - now
+                        return fill - now
+            return 0
+        stats.l1_read_misses[cls][l1.classify_miss(line1)] += 1
+        line2 = line1 >> self._ratio_shift
+        latency = self._l2_read(node, line2, cls, count=True)
+        if latency > self.lat_l2:
+            # Demand fill from beyond the L2 queues behind in-flight
+            # prefetches on this node's memory port.
+            wait = self._port_free[node] - now
+            if wait > 0:
+                latency += wait
+            self._port_free[node] = now + latency
+        self._l1_fill(node, line1)
+        if self.config.prefetch_data and cls == DataClass.DATA:
+            self._issue_prefetches(node, line1, now + latency)
+        return latency
+
+    def _l2_read(self, node, line2, cls, count):
+        """Look up / fill ``line2`` in node's L2; return access latency."""
+        self.stats.l2_reads += 1
+        l2 = self.l2[node]
+        if l2.lookup(line2):
+            return self.lat_l2
+        if count:
+            self.stats.l2_read_misses[cls][l2.classify_miss(line2)] += 1
+        home = self.home_fn(line2 << self._l2_shift)
+        owner = self.directory.dirty_owner(line2)
+        if owner is not None and owner != node:
+            latency = self.lat_2hop if home == node else self.lat_3hop
+        else:
+            latency = self.lat_local if home == node else self.lat_2hop
+        self.directory.record_read(node, line2)
+        evicted = l2.insert(line2)
+        if evicted is not None:
+            self._evict_l2(node, evicted)
+        return latency
+
+    def _write_line(self, node, line1, cls, now):
+        cfg = self.config
+        stats = self.stats
+        stats.l1_writes += 1
+        line2 = line1 >> self._ratio_shift
+        l1 = self.l1[node]
+        l2 = self.l2[node]
+        # Write-through L1: update if present, no allocation on write miss.
+        l1.lookup(line1)
+        directory = self.directory
+        if l2.lookup(line2):
+            if directory.dirty_owner(line2) == node:
+                retire = cfg.wb_retire
+            else:
+                # Upgrade: ask the home directory, invalidate other copies.
+                home = self.home_fn(line2 << self._l2_shift)
+                retire = self.lat_local if home == node else self.lat_2hop
+                self._invalidate_others(node, line2)
+        else:
+            stats.l2_write_misses += 1
+            home = self.home_fn(line2 << self._l2_shift)
+            owner = directory.dirty_owner(line2)
+            if owner is not None and owner != node:
+                retire = self.lat_2hop if home == node else self.lat_3hop
+            else:
+                retire = self.lat_local if home == node else self.lat_2hop
+            self._invalidate_others(node, line2)
+            evicted = l2.insert(line2)
+            if evicted is not None:
+                self._evict_l2(node, evicted)
+        stall = self.wb[node].issue(now, retire)
+        return stall
+
+    def _invalidate_others(self, node, line2):
+        victims = self.directory.record_write(node, line2)
+        ratio = 1 << self._ratio_shift
+        base = line2 << self._ratio_shift
+        for victim in victims:
+            self.l2[victim].invalidate(line2, coherence=True)
+            vl1 = self.l1[victim]
+            for i in range(ratio):
+                vl1.invalidate(base + i, coherence=True)
+
+    def _evict_l2(self, node, line2):
+        """Handle an L2 replacement: keep L1 inclusive, tell the directory."""
+        self.directory.record_eviction(node, line2)
+        base = line2 << self._ratio_shift
+        l1 = self.l1[node]
+        for i in range(1 << self._ratio_shift):
+            l1.invalidate(base + i, coherence=False)
+
+    def _l1_fill(self, node, line1):
+        # L1 is write-through, so replacement never writes back.
+        self.l1[node].insert(line1)
+
+    # -- prefetching -----------------------------------------------------------
+
+    def _issue_prefetches(self, node, line1, now):
+        """Fetch the next N primary lines of database data (section 6)."""
+        l1 = self.l1[node]
+        pending = self._pending_fill
+        for i in range(1, self.config.prefetch_degree + 1):
+            pline = line1 + i
+            if l1.contains(pline) or (node, pline) in pending:
+                continue
+            if self._port_free[node] > now + self.config.prefetch_drop_threshold:
+                # The memory port is backed up: the prefetcher drops the
+                # rest of the burst rather than queueing it (so effective
+                # lookahead shrinks when misses are frequent -- the reason
+                # prefetching only removes part of the Data stall time).
+                break
+            self.stats.prefetches_issued += 1
+            line2 = pline >> self._ratio_shift
+            latency = self._l2_read(node, line2, DataClass.DATA, count=False)
+            self._l1_fill(node, pline)
+            if latency > self.lat_l2:
+                # Unpipelined fills: each occupies the port for its full
+                # latency, so a burst takes about a tuple's worth of
+                # processing time to drain.
+                start = max(now, self._port_free[node])
+                fill = start + latency
+                # Pipelined transfers free the port at half the fill time.
+                self._port_free[node] = start + latency // 2
+            else:
+                fill = now + latency
+            pending[(node, pline)] = fill
+
+    # -- workload-phase control -------------------------------------------------
+
+    def reset_stats(self):
+        """Zero counters but keep cache and directory contents (warm start)."""
+        self.stats.reset()
+        self._pending_fill.clear()
+        for wb in self.wb:
+            wb.reset()
+
+    def drain_time(self, node, now):
+        """Time at which node's write buffer empties (for final accounting)."""
+        return self.wb[node].drain_time(now)

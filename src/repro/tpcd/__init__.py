@@ -1,0 +1,30 @@
+"""TPC-D workload: schemas, population generator, and the 17 queries.
+
+This package is the dbgen-equivalent the paper used (scaled down 100x) plus
+the query set of its Table 1.  Data generation is deterministic given a
+seed, so simulations are exactly reproducible.
+"""
+
+from repro.tpcd.schema import TABLE_SCHEMAS, INDEX_DEFS
+from repro.tpcd.dbgen import populate, build_database, table_cardinalities
+from repro.tpcd.scales import Scale, SCALES
+from repro.tpcd.queries import (
+    QUERY_IDS, READ_ONLY_QUERIES, TABLE1_OPERATORS, QueryInstance,
+    query_instance, query_category,
+)
+
+__all__ = [
+    "TABLE_SCHEMAS",
+    "INDEX_DEFS",
+    "populate",
+    "build_database",
+    "table_cardinalities",
+    "Scale",
+    "SCALES",
+    "QUERY_IDS",
+    "READ_ONLY_QUERIES",
+    "TABLE1_OPERATORS",
+    "QueryInstance",
+    "query_instance",
+    "query_category",
+]

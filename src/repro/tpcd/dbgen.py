@@ -1,0 +1,187 @@
+"""Deterministic TPC-D population generator (dbgen equivalent).
+
+``populate(sf, seed)`` produces rows for all eight tables at scale factor
+``sf`` (a fraction of the TPC-D SF-1 sizes; the paper used ``sf = 0.01``,
+i.e. the standard data set scaled down 100x, about 20 MB).
+
+Value distributions follow the TPC-D specification closely enough for the
+queries' selectivities to come out right: 5 market segments, 7 ship modes,
+order dates spread over 1992-1998, ship dates 1..121 days after the order,
+discounts 0.00-0.10, and so on.
+"""
+
+import random
+
+from repro.db.datatypes import date_to_num
+from repro.tpcd.schema import (
+    BASE_CARDINALITIES, CONTAINERS, NATIONS, PART_NAME_WORDS, PRIORITIES,
+    REGIONS, SEGMENTS, SHIPINSTRUCT, SHIPMODES, TABLE_SCHEMAS, INDEX_DEFS,
+    TYPE_SYLL_1, TYPE_SYLL_2, TYPE_SYLL_3,
+)
+
+START_DATE = date_to_num("1992-01-01")
+END_DATE = date_to_num("1998-08-02")
+
+
+def table_cardinalities(sf):
+    """Row counts for every table at scale factor ``sf`` (lineitem approx)."""
+    counts = {"region": 5, "nation": 25}
+    for name, base in BASE_CARDINALITIES.items():
+        counts[name] = max(int(base * sf), 20 if name != "supplier" else 5)
+    counts["lineitem"] = counts["orders"] * 4  # expectation of 1..7 per order
+    return counts
+
+
+def _comment(rng, width):
+    words = ("the", "of", "slyly", "furiously", "carefully", "quick", "pending",
+             "final", "ironic", "express", "special", "regular", "bold")
+    out = []
+    size = 0
+    while size < width - 8:
+        w = rng.choice(words)
+        out.append(w)
+        size += len(w) + 1
+    return " ".join(out)[:width]
+
+
+def populate(sf=0.001, seed=42):
+    """Generate all tables; returns ``{table_name: [rows]}``."""
+    rng = random.Random(seed)
+    counts = table_cardinalities(sf)
+    data = {}
+
+    data["region"] = [
+        [i, REGIONS[i], _comment(rng, 40)] for i in range(5)
+    ]
+    data["nation"] = [
+        [i, name, region, _comment(rng, 40)]
+        for i, (name, region) in enumerate(NATIONS)
+    ]
+
+    n_supp = counts["supplier"]
+    data["supplier"] = [
+        [
+            k,
+            f"Supplier#{k:09d}",
+            _comment(rng, 20),
+            rng.randrange(25),
+            f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(100, 999)}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            _comment(rng, 40),
+        ]
+        for k in range(1, n_supp + 1)
+    ]
+
+    n_part = counts["part"]
+    parts = []
+    for k in range(1, n_part + 1):
+        name = " ".join(rng.sample(PART_NAME_WORDS, 3))
+        brand = f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}"
+        ptype = (f"{rng.choice(TYPE_SYLL_1)} {rng.choice(TYPE_SYLL_2)} "
+                 f"{rng.choice(TYPE_SYLL_3)}")
+        parts.append([
+            k, name, f"Manufacturer#{rng.randrange(1, 6)}", brand, ptype,
+            rng.randrange(1, 51), rng.choice(CONTAINERS),
+            round(900 + k / 10 % 200 + rng.uniform(0, 100), 2),
+            _comment(rng, 14),
+        ])
+    data["part"] = parts
+
+    partsupp = []
+    per_part = max(counts["partsupp"] // max(n_part, 1), 1)
+    for k in range(1, n_part + 1):
+        for j in range(per_part):
+            suppkey = ((k + (j * (n_supp // per_part + 1))) % n_supp) + 1
+            partsupp.append([
+                k, suppkey, rng.randrange(1, 10000),
+                round(rng.uniform(1.0, 1000.0), 2), _comment(rng, 60),
+            ])
+    data["partsupp"] = partsupp
+
+    n_cust = counts["customer"]
+    data["customer"] = [
+        [
+            k,
+            f"Customer#{k:09d}",
+            _comment(rng, 20),
+            rng.randrange(25),
+            f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(100, 999)}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(SEGMENTS),
+            _comment(rng, 50),
+        ]
+        for k in range(1, n_cust + 1)
+    ]
+
+    n_orders = counts["orders"]
+    orders = []
+    lineitems = []
+    for k in range(1, n_orders + 1):
+        custkey = rng.randrange(1, n_cust + 1)
+        orderdate = rng.randrange(START_DATE, END_DATE - 151)
+        n_lines = rng.randrange(1, 8)
+        total = 0.0
+        status_counts = 0
+        for ln in range(1, n_lines + 1):
+            partkey = rng.randrange(1, n_part + 1)
+            suppkey = rng.randrange(1, n_supp + 1)
+            quantity = float(rng.randrange(1, 51))
+            extended = round(quantity * (900 + partkey / 10 % 200), 2)
+            discount = rng.randrange(0, 11) / 100.0
+            tax = rng.randrange(0, 9) / 100.0
+            shipdate = orderdate + rng.randrange(1, 122)
+            commitdate = orderdate + rng.randrange(30, 91)
+            receiptdate = shipdate + rng.randrange(1, 31)
+            current = date_to_num("1995-06-17")
+            if receiptdate <= current:
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            linestatus = "F" if shipdate <= current else "O"
+            status_counts += linestatus == "F"
+            total += extended * (1 + tax) * (1 - discount)
+            lineitems.append([
+                k, partkey, suppkey, ln, quantity, extended, discount, tax,
+                returnflag, linestatus, shipdate, commitdate, receiptdate,
+                rng.choice(SHIPINSTRUCT), rng.choice(SHIPMODES),
+                _comment(rng, 27),
+            ])
+        if status_counts == n_lines:
+            orderstatus = "F"
+        elif status_counts == 0:
+            orderstatus = "O"
+        else:
+            orderstatus = "P"
+        orders.append([
+            k, custkey, orderstatus, round(total, 2), orderdate,
+            rng.choice(PRIORITIES), f"Clerk#{rng.randrange(1, 1000):09d}",
+            0, _comment(rng, 30),
+        ])
+    data["orders"] = orders
+    data["lineitem"] = lineitems
+    return data
+
+
+def build_database(sf=0.001, seed=42, cost_model=None, with_indexes=True,
+                   max_pages=None):
+    """Create a :class:`~repro.db.engine.Database` populated at ``sf``.
+
+    Returns the database with all eight tables loaded and the paper's index
+    set built (unless ``with_indexes`` is false).
+    """
+    from repro.db.engine import Database
+
+    data = populate(sf=sf, seed=seed)
+    if max_pages is None:
+        total_bytes = sum(
+            len(rows) * TABLE_SCHEMAS[t].tuple_size for t, rows in data.items()
+        )
+        max_pages = max(total_bytes // 8192 * 3, 512)
+    db = Database(cost_model=cost_model, max_pages=max_pages)
+    for name, schema in TABLE_SCHEMAS.items():
+        db.create_table(schema)
+        db.load(name, data[name])
+    if with_indexes:
+        for ix_name, table, cols in INDEX_DEFS:
+            db.create_index(ix_name, table, cols)
+    return db

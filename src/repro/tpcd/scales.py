@@ -1,0 +1,69 @@
+"""Scale presets: database size and cache geometry scale together.
+
+The paper scaled the TPC-D data set down 100x and shrank the caches so that
+they still overflow (section 4.2).  We apply the same argument a second
+time for fast runs: ``SMALL`` and ``TINY`` shrink database and caches by a
+further common factor, preserving the miss phenomenology; ``PAPER`` is the
+paper's own sizing.
+"""
+
+from dataclasses import dataclass
+
+from repro.memsim.numa import MachineConfig
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One consistent sizing of database, caches and private arena."""
+
+    name: str
+    sf: float                # fraction of TPC-D SF-1
+    l1_size: int             # baseline primary cache
+    l2_size: int             # baseline secondary cache
+    arena_size: int          # per-backend private arena (palloc churn)
+    huge_factor: int = 256   # cache multiplier for the Figure-12 setup
+
+    def machine_config(self, **overrides):
+        """Baseline :class:`MachineConfig` at this scale.
+
+        Keyword overrides replace fields (e.g. ``l2_line=128``,
+        ``prefetch_data=True``).
+        """
+        cfg = MachineConfig(l1_size=self.l1_size, l2_size=self.l2_size)
+        return cfg.replace(**overrides) if overrides else cfg
+
+    def huge_machine_config(self, **overrides):
+        """The very large caches of the inter-query reuse experiment.
+
+        The paper used 1-MB primary / 32-MB secondary caches (256x/256x the
+        baseline) to find the upper bound on reuse.
+        """
+        cfg = MachineConfig(
+            l1_size=self.l1_size * self.huge_factor,
+            l2_size=self.l2_size * self.huge_factor,
+        )
+        return cfg.replace(**overrides) if overrides else cfg
+
+
+SCALES = {
+    "tiny": Scale("tiny", sf=1 / 5000, l1_size=512, l2_size=16 * 1024,
+                  arena_size=8 * 1024),
+    "small": Scale("small", sf=1 / 1000, l1_size=1024, l2_size=32 * 1024,
+                   arena_size=16 * 1024),
+    "medium": Scale("medium", sf=1 / 400, l1_size=2048, l2_size=64 * 1024,
+                    arena_size=32 * 1024),
+    "paper": Scale("paper", sf=1 / 100, l1_size=4 * 1024, l2_size=128 * 1024,
+                   arena_size=64 * 1024),
+}
+
+
+def get_scale(name_or_scale):
+    """Resolve a scale by name (or pass a :class:`Scale` through)."""
+    if isinstance(name_or_scale, Scale):
+        return name_or_scale
+    try:
+        return SCALES[name_or_scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name_or_scale!r}; choose from {sorted(SCALES)}"
+        ) from None

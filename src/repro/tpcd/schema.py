@@ -1,0 +1,164 @@
+"""TPC-D table schemas and the index set used for the paper's plans.
+
+Column names follow the TPC-D standard prefixes, which keeps names
+globally unique.  Character widths are the TPC-D fixed widths (average
+width for the variable comment fields).
+
+The index set reproduces the plans of the paper's Table 1: primary keys,
+the foreign-key columns used as inner join paths, and ``c_mktsegment`` /
+``n_name`` / ``r_name`` for the selective driver predicates.  Notably there
+is *no* index on any date column -- that is what makes Q1/Q4/Q6/Q12/...
+sequential-scan queries.
+"""
+
+from repro.db.datatypes import Schema, char, date, float8, int4
+
+TABLE_SCHEMAS = {
+    "region": Schema("region", [
+        int4("r_regionkey"),
+        char("r_name", 25),
+        char("r_comment", 80),
+    ]),
+    "nation": Schema("nation", [
+        int4("n_nationkey"),
+        char("n_name", 25),
+        int4("n_regionkey"),
+        char("n_comment", 80),
+    ]),
+    "supplier": Schema("supplier", [
+        int4("s_suppkey"),
+        char("s_name", 25),
+        char("s_address", 25),
+        int4("s_nationkey"),
+        char("s_phone", 15),
+        float8("s_acctbal"),
+        char("s_comment", 60),
+    ]),
+    "part": Schema("part", [
+        int4("p_partkey"),
+        char("p_name", 35),
+        char("p_mfgr", 25),
+        char("p_brand", 10),
+        char("p_type", 25),
+        int4("p_size"),
+        char("p_container", 10),
+        float8("p_retailprice"),
+        char("p_comment", 14),
+    ]),
+    "partsupp": Schema("partsupp", [
+        int4("ps_partkey"),
+        int4("ps_suppkey"),
+        int4("ps_availqty"),
+        float8("ps_supplycost"),
+        char("ps_comment", 120),
+    ]),
+    "customer": Schema("customer", [
+        int4("c_custkey"),
+        char("c_name", 25),
+        char("c_address", 25),
+        int4("c_nationkey"),
+        char("c_phone", 15),
+        float8("c_acctbal"),
+        char("c_mktsegment", 10),
+        char("c_comment", 70),
+    ]),
+    "orders": Schema("orders", [
+        int4("o_orderkey"),
+        int4("o_custkey"),
+        char("o_orderstatus", 1),
+        float8("o_totalprice"),
+        date("o_orderdate"),
+        char("o_orderpriority", 15),
+        char("o_clerk", 15),
+        int4("o_shippriority"),
+        char("o_comment", 49),
+    ]),
+    "lineitem": Schema("lineitem", [
+        int4("l_orderkey"),
+        int4("l_partkey"),
+        int4("l_suppkey"),
+        int4("l_linenumber"),
+        float8("l_quantity"),
+        float8("l_extendedprice"),
+        float8("l_discount"),
+        float8("l_tax"),
+        char("l_returnflag", 1),
+        char("l_linestatus", 1),
+        date("l_shipdate"),
+        date("l_commitdate"),
+        date("l_receiptdate"),
+        char("l_shipinstruct", 25),
+        char("l_shipmode", 10),
+        char("l_comment", 44),
+    ]),
+}
+
+#: (index name, table, key columns).  The set the paper "added" (section
+#: 2.2.2): it determines which selects become Index Scans in Table 1.
+INDEX_DEFS = [
+    ("ix_r_regionkey", "region", ["r_regionkey"]),
+    ("ix_r_name", "region", ["r_name"]),
+    ("ix_n_nationkey", "nation", ["n_nationkey"]),
+    ("ix_n_name", "nation", ["n_name"]),
+    ("ix_n_regionkey", "nation", ["n_regionkey"]),
+    ("ix_s_suppkey", "supplier", ["s_suppkey"]),
+    ("ix_s_nationkey", "supplier", ["s_nationkey"]),
+    ("ix_p_partkey", "part", ["p_partkey"]),
+    ("ix_ps_pk_sk", "partsupp", ["ps_partkey", "ps_suppkey"]),
+    ("ix_ps_suppkey", "partsupp", ["ps_suppkey"]),
+    ("ix_c_custkey", "customer", ["c_custkey"]),
+    ("ix_c_nationkey", "customer", ["c_nationkey"]),
+    ("ix_c_mktsegment", "customer", ["c_mktsegment"]),
+    ("ix_o_orderkey", "orders", ["o_orderkey"]),
+    ("ix_o_custkey", "orders", ["o_custkey"]),
+    ("ix_l_orderkey", "lineitem", ["l_orderkey"]),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+    "honeydew", "hot", "hotpink", "indian", "ivory", "khaki",
+]
+
+TYPE_SYLL_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX",
+    "MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+]
+
+SHIPINSTRUCT = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+
+#: TPC-D SF-1 base cardinalities (lineitem is ~6M; per-order lines vary).
+BASE_CARDINALITIES = {
+    "supplier": 10000,
+    "part": 200000,
+    "partsupp": 800000,
+    "customer": 150000,
+    "orders": 1500000,
+}

@@ -1,0 +1,89 @@
+"""TPC-D update functions UF1 (insert orders) and UF2 (delete orders).
+
+The paper does not trace these -- Postgres95's relation-level locking makes
+update queries serialize -- but TPC-D defines them, and the engine supports
+them through the DML path (write datalocks, heap and index maintenance).
+
+``uf1_statements`` inserts a batch of new orders and their lineitems;
+``uf2_statements`` deletes an equal-sized batch of old orders.  Both are
+expressed as plain SQL over the engine's DML grammar.
+"""
+
+import random
+
+from repro.db.datatypes import num_to_date
+from repro.tpcd.dbgen import START_DATE, END_DATE
+from repro.tpcd.schema import PRIORITIES, SHIPINSTRUCT, SHIPMODES
+
+
+def _sql_value(v):
+    if isinstance(v, str):
+        escaped = v.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(v)
+
+
+def _values(rows):
+    return ", ".join(
+        "(" + ", ".join(_sql_value(v) for v in row) + ")" for row in rows
+    )
+
+
+def uf1_statements(db, batch=None, seed=0):
+    """Build the UF1 INSERT statements for ``db``.
+
+    Inserts ``batch`` new orders (default: 0.1% of the orders table, the
+    TPC-D proportion) with 1-7 lineitems each.  Returns a list of SQL
+    strings.
+    """
+    rng = random.Random(seed)
+    orders = db.tables["orders"]
+    lineitem_rows = []
+    order_rows = []
+    n_orders = len(orders.rows)
+    n_cust = len(db.tables["customer"].rows)
+    n_part = len(db.tables["part"].rows)
+    n_supp = len(db.tables["supplier"].rows)
+    batch = batch or max(n_orders // 1000, 1)
+    next_key = n_orders + 1
+    for i in range(batch):
+        key = next_key + i
+        orderdate = rng.randrange(START_DATE, END_DATE - 151)
+        total = 0.0
+        for ln in range(1, rng.randrange(1, 8) + 1):
+            qty = float(rng.randrange(1, 51))
+            price = round(qty * 1000, 2)
+            total += price
+            shipdate = orderdate + rng.randrange(1, 122)
+            lineitem_rows.append([
+                key, rng.randrange(1, n_part + 1), rng.randrange(1, n_supp + 1),
+                ln, qty, price, rng.randrange(0, 11) / 100.0,
+                rng.randrange(0, 9) / 100.0, "N", "O", shipdate,
+                orderdate + rng.randrange(30, 91),
+                shipdate + rng.randrange(1, 31),
+                rng.choice(SHIPINSTRUCT), rng.choice(SHIPMODES), "new order",
+            ])
+        order_rows.append([
+            key, rng.randrange(1, n_cust + 1), "O", round(total, 2),
+            orderdate, rng.choice(PRIORITIES), "Clerk#000000001", 0,
+            "uf1 insert",
+        ])
+    return [
+        f"INSERT INTO orders VALUES {_values(order_rows)}",
+        f"INSERT INTO lineitem VALUES {_values(lineitem_rows)}",
+    ]
+
+
+def uf2_statements(db, batch=None, seed=0):
+    """Build the UF2 DELETE statements: drop a batch of old orders."""
+    rng = random.Random(seed)
+    orders = db.tables["orders"]
+    live = orders.live_rids()
+    batch = batch or max(len(live) // 1000, 1)
+    key_idx = orders.schema.column_index("o_orderkey")
+    keys = sorted(orders.rows[r][key_idx] for r in rng.sample(live, batch))
+    out = []
+    for key in keys:
+        out.append(f"DELETE FROM lineitem WHERE l_orderkey = {key}")
+        out.append(f"DELETE FROM orders WHERE o_orderkey = {key}")
+    return out

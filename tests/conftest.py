@@ -1,0 +1,55 @@
+"""Shared fixtures: populated databases and machine configurations.
+
+Databases are session-scoped: the workloads are read-only, so tests can
+share one instance per scale without interference.
+"""
+
+import pytest
+
+from repro.db.datatypes import Schema, char, float8, int4
+from repro.db.engine import Database
+from repro.tpcd.dbgen import build_database
+from repro.tpcd.scales import get_scale
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """TPC-D database at the tiny test scale."""
+    return build_database(sf=get_scale("tiny").sf, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """TPC-D database at the small (default benchmark) scale."""
+    return build_database(sf=get_scale("small").sf, seed=42)
+
+
+@pytest.fixture()
+def toy_db():
+    """A fresh two-table ad-hoc database for operator-level tests."""
+    import random
+
+    rng = random.Random(123)
+    db = Database()
+    db.create_table(Schema("ta", [int4("a_key"), int4("a_val"),
+                                  char("a_tag", 8)]))
+    db.create_table(Schema("tb", [int4("b_key"), float8("b_amt"),
+                                  char("b_tag", 8)]))
+    ta = [[i, rng.randint(0, 40), rng.choice(["red", "green", "blue"])]
+          for i in range(200)]
+    tb = [[rng.randint(0, 199), round(rng.random() * 100, 2),
+           rng.choice(["x", "y"])] for _ in range(600)]
+    db.load("ta", ta)
+    db.load("tb", tb)
+    db.create_index("ix_a_key", "ta", ["a_key"])
+    db.create_index("ix_a_val", "ta", ["a_val"])
+    db.create_index("ix_b_key", "tb", ["b_key"])
+    return db
+
+
+def norm_rows(rows, digits=4):
+    """Normalize rows for comparison: round floats, sort."""
+    return sorted(
+        tuple(round(v, digits) if isinstance(v, float) else v for v in r)
+        for r in rows
+    )

@@ -1,0 +1,64 @@
+"""Every TPC-D query runs correctly *under simulation*, not just untraced.
+
+The characterization tests focus on the paper's Q3/Q6/Q12; this module
+drives all 17 queries through the 4-processor machine and checks that the
+computed answers still match the reference evaluator, that the engine
+leaves no pins or locks behind, and that each query's miss profile matches
+its paper category.
+"""
+
+import pytest
+
+from repro.core.experiment import run_query_workload, workload_database
+from repro.tpcd.queries import QUERY_IDS, query_category, query_instance
+from tests.conftest import norm_rows
+
+
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_simulated_results_correct(qid):
+    w = run_query_workload(qid, scale="tiny", n_procs=2)
+    db = workload_database("tiny")
+    for cpu, rows in w.rows_per_cpu.items():
+        qi = query_instance(qid, seed=cpu)
+        assert norm_rows(rows) == norm_rows(db.run_reference(qi.sql)), qid
+
+
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_no_leaked_pins_or_locks(qid):
+    db = workload_database("tiny")
+    run_query_workload(qid, scale="tiny", n_procs=2, db=db)
+    assert all(v == 0 for v in db.bufmgr.pin_counts.values()), qid
+    for t in db.tables.values():
+        assert db.lockmgr.holders(t.oid) == {}, qid
+
+
+@pytest.mark.parametrize("qid", sorted({"Q2", "Q5", "Q8", "Q10", "Q11"}))
+def test_index_category_miss_profile(qid):
+    """Index queries never miss on Data via sequential streaming: their
+    shared misses concentrate on indices and metadata."""
+    w = run_query_workload(qid, scale="tiny", n_procs=2)
+    g = {k: sum(v) for k, v in w.stats.grouped("l2").items()}
+    assert g["Index"] + g["Metadata"] > 0, qid
+
+
+@pytest.mark.parametrize("qid", sorted({"Q1", "Q4", "Q15", "Q16"}))
+def test_sequential_category_miss_profile(qid):
+    w = run_query_workload(qid, scale="tiny", n_procs=2)
+    g = {k: sum(v) for k, v in w.stats.grouped("l2").items()}
+    assert g["Data"] > g["Index"], qid
+
+
+def test_categories_differ_in_mem_attribution():
+    """Across the whole query set, the paper's taxonomy is visible: the
+    average Data share of memory stall is higher for sequential queries
+    than for index queries."""
+    shares = {"sequential": [], "index": []}
+    for qid in QUERY_IDS:
+        cat = query_category(qid)
+        if cat not in shares:
+            continue
+        w = run_query_workload(qid, scale="tiny", n_procs=2)
+        shares[cat].append(w.mem_breakdown()["Data"])
+    seq_avg = sum(shares["sequential"]) / len(shares["sequential"])
+    idx_avg = sum(shares["index"]) / len(shares["index"])
+    assert seq_avg > idx_avg

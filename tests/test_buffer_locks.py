@@ -1,0 +1,143 @@
+"""Unit tests for the Buffer Cache Module and the Lock Management Module."""
+
+import pytest
+
+from repro.db.buffer import BufferManager, BUFMGR_LOCK_ID
+from repro.db.cost import CostModel
+from repro.db.locks import LockConflictError, LockManager, LockMode, LOCKMGR_LOCK_ID
+from repro.db.shmem import SharedMemory
+from repro.db.tracing import collect, drain
+from repro.memsim.events import (
+    DataClass, EV_LOCK_ACQ, EV_LOCK_REL, EV_READ, EV_WRITE,
+)
+
+
+@pytest.fixture()
+def shm():
+    shm = SharedMemory()
+    shm.alloc_page(DataClass.DATA)
+    return shm
+
+
+def classes_of(events):
+    return [e[3] for e in events if e[0] in (EV_READ, EV_WRITE)]
+
+
+def test_pin_emits_protocol(shm):
+    bm = BufferManager(shm, CostModel())
+    events, addr = collect(bm.pin(0))
+    kinds = [e[0] for e in events]
+    assert EV_LOCK_ACQ in kinds and EV_LOCK_REL in kinds
+    assert DataClass.BUFLOOK in classes_of(events)
+    assert DataClass.BUFDESC in classes_of(events)
+    assert addr == shm.page_addr(0)
+    assert bm.pinned(0) == 1
+
+
+def test_pin_lock_is_bufmgrlock(shm):
+    bm = BufferManager(shm, CostModel())
+    events, _ = collect(bm.pin(0))
+    acq = next(e for e in events if e[0] == EV_LOCK_ACQ)
+    assert acq[1] == BUFMGR_LOCK_ID
+    assert acq[2] == shm.bufmgr_lock_addr
+
+
+def test_unpin_decrements(shm):
+    bm = BufferManager(shm, CostModel())
+    drain(bm.pin(0))
+    drain(bm.unpin(0))
+    assert bm.pinned(0) == 0
+
+
+def test_unpin_without_pin_raises(shm):
+    bm = BufferManager(shm, CostModel())
+    with pytest.raises(RuntimeError):
+        drain(bm.unpin(0))
+
+
+def test_nested_pins(shm):
+    bm = BufferManager(shm, CostModel())
+    drain(bm.pin(0))
+    drain(bm.pin(0))
+    assert bm.pinned(0) == 2
+    drain(bm.unpin(0))
+    assert bm.pinned(0) == 1
+
+
+def test_read_locks_are_shared(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1, mode=LockMode.READ))
+    drain(lm.acquire(1000, xid=2, mode=LockMode.READ))
+    assert set(lm.holders(1000)) == {1, 2}
+
+
+def test_write_lock_conflicts(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1, mode=LockMode.WRITE))
+    with pytest.raises(LockConflictError):
+        drain(lm.acquire(1000, xid=2, mode=LockMode.READ))
+
+
+def test_read_then_write_conflicts(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1, mode=LockMode.READ))
+    with pytest.raises(LockConflictError):
+        drain(lm.acquire(1000, xid=2, mode=LockMode.WRITE))
+
+
+def test_same_xid_reacquire_ok(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1, mode=LockMode.READ))
+    drain(lm.acquire(1000, xid=1, mode=LockMode.WRITE))
+    assert lm.holders(1000)[1] == LockMode.WRITE
+
+
+def test_release_removes_holder(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1))
+    drain(lm.release(1000, xid=1))
+    assert lm.holders(1000) == {}
+    # Now a writer can get in.
+    drain(lm.acquire(1000, xid=2, mode=LockMode.WRITE))
+
+
+def test_acquire_emits_lockslock_and_hashes(shm):
+    lm = LockManager(shm, CostModel())
+    events, _ = collect(lm.acquire(1000, xid=1))
+    acq = next(e for e in events if e[0] == EV_LOCK_ACQ)
+    assert acq[1] == LOCKMGR_LOCK_ID
+    assert acq[3] == DataClass.LOCKSLOCK
+    cls = classes_of(events)
+    assert DataClass.LOCKHASH in cls and DataClass.XIDHASH in cls
+
+
+def test_check_emits_lighter_protocol(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1))
+    acquire_events, _ = collect(lm.acquire(2000, xid=1))
+    check_events, _ = collect(lm.check(1000, xid=1))
+    assert len(check_events) < len(acquire_events)
+
+
+def test_conflict_releases_spinlock(shm):
+    lm = LockManager(shm, CostModel())
+    drain(lm.acquire(1000, xid=1, mode=LockMode.WRITE))
+    gen = lm.acquire(1000, xid=2, mode=LockMode.READ)
+    events = []
+    with pytest.raises(LockConflictError):
+        while True:
+            events.append(next(gen))
+    # The LockMgrLock spinlock was released before raising.
+    assert any(e[0] == EV_LOCK_REL for e in events)
+
+
+def test_all_events_within_shared_region(shm):
+    """Every address the modules emit classifies as the class they claim."""
+    bm = BufferManager(shm, CostModel())
+    lm = LockManager(shm, CostModel())
+    for gen in (bm.pin(0), bm.unpin(0), lm.acquire(1000, 1), lm.check(1000, 1),
+                lm.release(1000, 1)):
+        events, _ = collect(gen)
+        for e in events:
+            if e[0] in (EV_READ, EV_WRITE):
+                assert shm.classify(e[1]) == e[3], e

@@ -1,0 +1,84 @@
+"""Unit tests for the coherence directory."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.directory import Directory
+
+
+def test_read_registers_sharer():
+    d = Directory(4)
+    assert d.record_read(0, 100) is None
+    assert d.sharers(100) == {0}
+    assert d.dirty_owner(100) is None
+
+
+def test_write_makes_exclusive_dirty():
+    d = Directory(4)
+    d.record_read(0, 100)
+    d.record_read(1, 100)
+    victims = d.record_write(2, 100)
+    assert sorted(victims) == [0, 1]
+    assert d.sharers(100) == {2}
+    assert d.dirty_owner(100) == 2
+
+
+def test_read_downgrades_dirty_owner():
+    d = Directory(4)
+    d.record_write(1, 100)
+    supplier = d.record_read(0, 100)
+    assert supplier == 1
+    assert d.dirty_owner(100) is None
+    assert d.sharers(100) == {0, 1}
+
+
+def test_own_dirty_reread_keeps_dirty():
+    d = Directory(4)
+    d.record_write(1, 100)
+    assert d.record_read(1, 100) is None
+    assert d.dirty_owner(100) == 1
+
+
+def test_write_by_owner_invalidates_nobody():
+    d = Directory(4)
+    d.record_write(3, 100)
+    assert d.record_write(3, 100) == []
+
+
+def test_eviction_clears_state():
+    d = Directory(4)
+    d.record_write(1, 100)
+    d.record_eviction(1, 100)
+    assert d.dirty_owner(100) is None
+    assert not d.is_cached(100)
+
+
+def test_eviction_of_one_sharer_keeps_others():
+    d = Directory(4)
+    d.record_read(0, 100)
+    d.record_read(1, 100)
+    d.record_eviction(0, 100)
+    assert d.sharers(100) == {1}
+
+
+def test_invariants_pass_on_valid_state():
+    d = Directory(4)
+    d.record_write(2, 5)
+    d.record_read(1, 7)
+    d.check_invariants()
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["r", "w", "e"]),
+                          st.integers(0, 3), st.integers(0, 7)),
+                max_size=200))
+def test_single_writer_invariant(ops):
+    """Property: after any op sequence, a dirty line has exactly one holder."""
+    d = Directory(4)
+    for op, node, line in ops:
+        if op == "r":
+            d.record_read(node, line)
+        elif op == "w":
+            d.record_write(node, line)
+        else:
+            d.record_eviction(node, line)
+    d.check_invariants()

@@ -1,0 +1,108 @@
+"""Each experiment module runs, reports, and shows the paper's shape."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1,
+)
+from repro.experiments.runner import main as runner_main
+
+SCALE = "tiny"
+
+
+def test_registry_covers_all_artifacts():
+    assert set(REGISTRY) == {
+        "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13",
+    }
+
+
+def test_table1_all_match():
+    results = table1.run(scale=SCALE)
+    assert all(r["match"] for r in results.values())
+    text = table1.report(results)
+    assert "Q12" in text and "NO" not in text
+
+
+def test_fig6_shapes_and_report():
+    results = fig6.run(scale=SCALE)
+    assert set(results) == {"Q3", "Q6", "Q12"}
+    for qid, r in results.items():
+        assert abs(sum(r["breakdown"].values()) - 1.0) < 1e-9
+        assert abs(sum(r["mem_breakdown"].values()) - 1.0) < 1e-6
+    assert results["Q6"]["mem_breakdown"]["Data"] > 0.6
+    text = fig6.report(results)
+    assert "Busy" in text and "Metadata" in text
+
+
+def test_fig7_classification_totals():
+    results = fig7.run(scale=SCALE)
+    for qid, r in results.items():
+        grid_total = sum(sum(t.values()) for t in r["l2"].values())
+        grouped_total = sum(sum(v) for v in r["l2_grouped"].values())
+        assert grid_total == grouped_total
+        assert 0 < r["l1_miss_rate"] < 0.2
+    assert "LockSLock" in fig7.report(results)
+
+
+def test_fig8_normalization_and_monotone_data():
+    results = fig8.run(scale=SCALE, queries=["Q6"], line_sizes=[32, 64, 128])
+    norm = fig8.normalized(results, "l2")["Q6"]
+    assert sum(norm[64].values()) == pytest.approx(100.0)
+    assert norm[32]["Data"] > norm[64]["Data"] > norm[128]["Data"]
+    assert "Figure 8" in fig8.report(results)
+
+
+def test_fig9_best_line_size():
+    results = fig9.run(scale=SCALE, queries=["Q6"], line_sizes=[32, 64, 256])
+    assert fig9.best_line_size(results, "Q6") == 64
+    assert "best = 64B" in fig9.report(results)
+
+
+def test_fig10_data_flat():
+    results = fig10.run(scale=SCALE, queries=["Q6"], multipliers=[1, 16])
+    d = results["Q6"]
+    assert d[16]["l2"]["Data"] == pytest.approx(d[1]["l2"]["Data"], rel=0.05)
+    assert d[16]["l1"]["Priv"] < d[1]["l1"]["Priv"]
+    assert "Figure 10" in fig10.report(results)
+
+
+def test_fig11_speedup_from_pmem():
+    results = fig11.run(scale=SCALE, queries=["Q6"], multipliers=[1, 16])
+    r = results["Q6"]
+    assert r[16]["exec_time"] <= r[1]["exec_time"]
+    assert (r[1]["PMem"] - r[16]["PMem"]) > 0
+    assert "Figure 11" in fig11.report(results)
+
+
+def test_fig12_reuse_shapes():
+    results = fig12.run(scale=SCALE)
+    cold = results[("Q12", None)]["l2"]["Data"]
+    warm_same = results[("Q12", "Q12")]["l2"]["Data"]
+    warm_other = results[("Q12", "Q3")]["l2"]["Data"]
+    assert warm_same < 0.2 * cold
+    assert warm_other > 0.7 * cold
+    assert "after Q12" in fig12.report(results)
+
+
+def test_fig13_prefetch_shapes():
+    results = fig13.run(scale=SCALE)
+    assert results["Q6"]["speedup"] > 1.0
+    assert results["Q3"]["speedup"] <= 1.01
+    assert "Figure 13" in fig13.report(results)
+
+
+def test_runner_cli_list(capsys):
+    assert runner_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig13" in out
+
+
+def test_runner_cli_executes_experiment(capsys):
+    assert runner_main(["table1", "--scale", SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "matches paper" in out
+
+
+def test_runner_cli_rejects_unknown(capsys):
+    assert runner_main(["nope"]) == 2

@@ -1,0 +1,204 @@
+"""Unit tests for the interleaver: time accounting and spinlock modeling."""
+
+import pytest
+
+from repro.memsim.events import DataClass, busy, hit, lock_acquire, lock_release, read, write
+from repro.memsim.interleave import Interleaver, LockProtocolError
+from repro.memsim.numa import MachineConfig, NumaMachine
+
+DATA = DataClass.DATA
+PRIV = DataClass.PRIV
+LOCK = DataClass.LOCKSLOCK
+
+
+def make_machine():
+    return NumaMachine(MachineConfig(), home_fn=lambda a: 0)
+
+
+def run(streams, machine=None):
+    machine = machine or make_machine()
+    return Interleaver(machine).run(streams)
+
+
+def test_busy_accounting():
+    def s():
+        yield busy(100)
+        yield busy(50)
+
+    res = run([s()])
+    assert res.cpu_stats[0].busy == 150
+    assert res.exec_time == 150
+
+
+def test_read_costs_one_cycle_plus_stall():
+    def s():
+        yield read(0x1000, 4, DATA)
+
+    machine = make_machine()
+    res = run([s()], machine)
+    # 1 pipelined cycle + local-memory stall.
+    assert res.cpu_stats[0].busy == 1
+    assert res.cpu_stats[0].mem_by_class[DATA] == machine.lat_local
+
+
+def test_hit_event_counts_accesses_and_busy():
+    def s():
+        yield hit(500)
+
+    machine = make_machine()
+    res = run([s()], machine)
+    assert res.cpu_stats[0].busy == 500
+    assert machine.stats.l1_reads == 500
+    assert machine.stats.total_l1_read_misses() == 0
+
+
+def test_mem_attributed_to_class():
+    def s():
+        yield read(0x1000, 4, DATA)
+        yield read(0x80000000, 4, PRIV)
+
+    res = run([s()])
+    assert res.cpu_stats[0].mem_by_class[DATA] > 0
+    assert res.cpu_stats[0].mem_by_class[PRIV] > 0
+    assert res.total.pmem == res.cpu_stats[0].mem_by_class[PRIV]
+    assert res.total.smem == res.cpu_stats[0].mem_by_class[DATA]
+
+
+def test_uncontended_lock_is_cheap_msync():
+    def s():
+        yield lock_acquire("L", 0x100, LOCK)
+        yield busy(10)
+        yield lock_release("L", 0x100, LOCK)
+
+    res = run([s()])
+    assert res.cpu_stats[0].msync > 0
+    assert res.cpu_stats[0].busy == 10
+
+
+def test_contended_lock_serializes():
+    def holder():
+        yield lock_acquire("L", 0x100, LOCK)
+        yield busy(5000)
+        yield lock_release("L", 0x100, LOCK)
+
+    def waiter():
+        yield busy(10)  # arrive second
+        yield lock_acquire("L", 0x100, LOCK)
+        yield lock_release("L", 0x100, LOCK)
+
+    res = run([holder(), waiter()])
+    # The waiter spun for roughly the holder's critical section.
+    assert res.cpu_stats[1].msync > 3000
+
+
+def test_lock_reacquire_raises():
+    def s():
+        yield lock_acquire("L", 0x100, LOCK)
+        yield lock_acquire("L", 0x100, LOCK)
+
+    with pytest.raises(LockProtocolError):
+        run([s()])
+
+
+def test_release_unheld_lock_raises():
+    def s():
+        yield lock_release("L", 0x100, LOCK)
+
+    with pytest.raises(LockProtocolError):
+        run([s()])
+
+
+def test_release_by_non_holder_raises():
+    def a():
+        yield lock_acquire("L", 0x100, LOCK)
+        yield busy(10000)
+        yield lock_release("L", 0x100, LOCK)
+
+    def b():
+        yield busy(1)
+        yield lock_release("L", 0x100, LOCK)
+
+    with pytest.raises(LockProtocolError):
+        run([a(), b()])
+
+
+def test_more_streams_than_nodes_rejected():
+    def s():
+        yield busy(1)
+
+    with pytest.raises(ValueError):
+        run([s() for _ in range(5)])
+
+
+def test_unknown_event_kind_rejected():
+    def s():
+        yield (99, 0)
+
+    with pytest.raises(ValueError):
+        run([s()])
+
+
+def test_exec_time_is_max_finish_time():
+    def short():
+        yield busy(10)
+
+    def long():
+        yield busy(1000)
+
+    res = run([short(), long()])
+    assert res.exec_time == 1000
+
+
+def test_finish_time_includes_write_buffer_drain():
+    def s():
+        yield write(0x1000, 4, PRIV)
+
+    res = run([s()])
+    # The lone store retires after the processor is done.
+    assert res.cpu_stats[0].finish_time > 1
+
+
+def test_breakdown_fractions_sum_to_one():
+    def s(node):
+        for i in range(100):
+            yield read(0x2000 + i * 64, 8, DATA)
+            yield busy(20)
+
+    res = run([s(i) for i in range(4)])
+    total = sum(res.breakdown().values())
+    assert total == pytest.approx(1.0)
+
+
+def test_reset_stats_between_phases():
+    machine = make_machine()
+
+    def warm():
+        yield read(0x3000, 4, DATA)
+
+    def measured():
+        yield read(0x3000, 4, DATA)
+
+    inter = Interleaver(machine)
+    inter.run([warm()])
+    res = inter.run([measured()], reset_stats=True)
+    # Warm cache: the measured phase sees no misses at all.
+    assert machine.stats.total_l1_read_misses() == 0
+    assert res.cpu_stats[0].mem == 0
+
+
+def test_lock_coherence_traffic_on_handoff():
+    machine = make_machine()
+
+    def a():
+        yield lock_acquire("L", 0x100, LOCK)
+        yield busy(2000)
+        yield lock_release("L", 0x100, LOCK)
+
+    def b():
+        yield busy(50)
+        yield lock_acquire("L", 0x100, LOCK)
+        yield lock_release("L", 0x100, LOCK)
+
+    Interleaver(machine).run([a(), b()])
+    lock_misses = machine.stats.l1_read_misses[LOCK]
+    assert lock_misses[2] >= 1  # coherence misses on the lock word

@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests over the whole stack.
+
+These use hypothesis to generate small relational workloads and check that
+independently implemented paths agree: plan executor vs reference
+evaluator, traced vs untraced execution, different join algorithms, and
+the reference-counting/locking invariants after arbitrary query sequences.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.datatypes import Schema, char, int4
+from repro.db.engine import Database
+from repro.db.tracing import drain
+from tests.conftest import norm_rows
+
+
+def build_db(ta_rows, tb_rows):
+    db = Database()
+    db.create_table(Schema("ta", [int4("a_key"), int4("a_val"),
+                                  char("a_tag", 4)]))
+    db.create_table(Schema("tb", [int4("b_key"), int4("b_val")]))
+    db.load("ta", ta_rows)
+    db.load("tb", tb_rows)
+    db.create_index("ix_a_key", "ta", ["a_key"])
+    db.create_index("ix_b_key", "tb", ["b_key"])
+    return db
+
+
+ta_rows = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 20),
+              st.sampled_from(["aa", "bb", "cc"])).map(list),
+    min_size=1, max_size=60,
+)
+tb_rows = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 20)).map(list),
+    min_size=1, max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ta_rows, tb_rows, st.integers(0, 20))
+def test_filter_agrees_with_reference(ta, tb, cut):
+    db = build_db(ta, tb)
+    sql = f"SELECT a_key, a_tag FROM ta WHERE a_val < {cut}"
+    assert norm_rows(db.run(sql).rows) == norm_rows(db.run_reference(sql))
+
+
+@settings(max_examples=30, deadline=None)
+@given(ta_rows, tb_rows)
+def test_join_algorithms_agree_with_each_other_and_reference(ta, tb):
+    db = build_db(ta, tb)
+    sql = "SELECT a_val, b_val FROM ta, tb WHERE a_key = b_key AND a_val < 15"
+    want = norm_rows(db.run_reference(sql))
+    assert norm_rows(db.run(sql).rows) == want
+    assert norm_rows(db.run(sql, hints={"tb": "hash"}).rows) == want
+    assert norm_rows(db.run(sql, hints={"tb": "merge"}).rows) == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(ta_rows, tb_rows)
+def test_group_aggregates_agree(ta, tb):
+    db = build_db(ta, tb)
+    sql = ("SELECT a_tag, COUNT(*) AS n, SUM(a_val) AS s, MIN(a_val) AS lo "
+           "FROM ta GROUP BY a_tag ORDER BY a_tag")
+    assert norm_rows(db.run(sql).rows) == norm_rows(db.run_reference(sql))
+
+
+@settings(max_examples=25, deadline=None)
+@given(ta_rows, tb_rows, st.integers(0, 30))
+def test_index_scan_equals_seq_scan_semantics(ta, tb, key):
+    """The two select algorithms are observationally identical."""
+    db = build_db(ta, tb)
+    via_index = db.run(f"SELECT a_val FROM ta WHERE a_key = {key}")
+    # Disable the index path by querying through an unindexed predicate
+    # that selects the same rows.
+    want = [[r[1]] for r in ta if r[0] == key]
+    assert norm_rows(via_index.rows) == norm_rows(want)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ta_rows, tb_rows, st.lists(st.integers(0, 2), min_size=1, max_size=4))
+def test_engine_invariants_after_query_sequences(ta, tb, picks):
+    """After any sequence of queries: no pins held, no locks held, and the
+    shared layout still classifies every table address correctly."""
+    db = build_db(ta, tb)
+    queries = [
+        "SELECT a_key FROM ta WHERE a_val < 10",
+        "SELECT a_val, b_val FROM ta, tb WHERE a_key = b_key",
+        "SELECT a_tag, COUNT(*) AS n FROM ta GROUP BY a_tag",
+    ]
+    backend = db.backend(0)
+    for p in picks:
+        drain(db.execute(queries[p], backend))
+        backend.priv.reset_heap()
+    assert all(v == 0 for v in db.bufmgr.pin_counts.values())
+    for t in db.tables.values():
+        assert db.lockmgr.holders(t.oid) == {}
+
+
+@settings(max_examples=20, deadline=None)
+@given(ta_rows, tb_rows)
+def test_traced_and_untraced_results_identical(ta, tb):
+    db = build_db(ta, tb)
+    sql = "SELECT a_key, a_val FROM ta WHERE a_val < 12"
+    backend = db.backend(0)
+    traced = drain(db.execute(sql, backend))
+    untraced = db.run_reference(sql)
+    assert norm_rows(traced) == norm_rows(untraced)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+def test_workload_simulation_deterministic(values):
+    """Same inputs, same machine: identical cycle counts and miss grids."""
+    from repro.memsim.interleave import Interleaver
+    from repro.memsim.numa import MachineConfig, NumaMachine
+    from repro.memsim.events import DataClass, busy, read
+
+    def stream(node):
+        for v in values:
+            yield read(0x10000 + (v * 37 % 997) * 16, 8, DataClass.DATA)
+            yield busy(v % 7 + 1)
+
+    def run():
+        m = NumaMachine(MachineConfig(l1_size=512, l2_size=16 * 1024),
+                        home_fn=lambda a: 0)
+        res = Interleaver(m).run([stream(i) for i in range(4)])
+        return res.exec_time, m.stats.l2_read_misses
+
+    t1, g1 = run()
+    t2, g2 = run()
+    assert t1 == t2 and g1 == g2

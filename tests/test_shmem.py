@@ -1,0 +1,120 @@
+"""Unit tests for the shared and private address-space layouts."""
+
+import pytest
+
+from repro.db.shmem import (
+    PAGE_SIZE, PRIVATE_BASE, PrivateMemory, SHARED_BASE, SharedMemory,
+)
+from repro.memsim.events import DataClass
+
+
+def test_page_allocation_and_addresses():
+    shm = SharedMemory(max_pages=8)
+    p0 = shm.alloc_page(DataClass.DATA)
+    p1 = shm.alloc_page(DataClass.INDEX)
+    assert p0 == 0 and p1 == 1
+    assert shm.page_addr(1) == shm.page_addr(0) + PAGE_SIZE
+    assert shm.page_addr(0) % PAGE_SIZE == 0
+    assert shm.page_of_addr(shm.page_addr(1) + 100) == 1
+
+
+def test_page_kind_validation():
+    shm = SharedMemory()
+    with pytest.raises(ValueError):
+        shm.alloc_page(DataClass.PRIV)
+
+
+def test_page_exhaustion():
+    shm = SharedMemory(max_pages=1)
+    shm.alloc_page(DataClass.DATA)
+    with pytest.raises(MemoryError):
+        shm.alloc_page(DataClass.DATA)
+
+
+def test_classification_of_every_region():
+    shm = SharedMemory()
+    data_page = shm.alloc_page(DataClass.DATA)
+    index_page = shm.alloc_page(DataClass.INDEX)
+    assert shm.classify(shm.lockmgr_lock_addr) == DataClass.LOCKSLOCK
+    assert shm.classify(shm.lock_hash_addr(7)) == DataClass.LOCKHASH
+    assert shm.classify(shm.xid_hash_addr(7)) == DataClass.XIDHASH
+    assert shm.classify(shm.buflook_bucket_addr(3)) == DataClass.BUFLOOK
+    assert shm.classify(shm.bufdesc_addr(0)) == DataClass.BUFDESC
+    assert shm.classify(shm.inval_cache_base) == DataClass.METAOTHER
+    assert shm.classify(shm.page_addr(data_page)) == DataClass.DATA
+    assert shm.classify(shm.page_addr(index_page) + 50) == DataClass.INDEX
+    assert shm.classify(PRIVATE_BASE + 100) == DataClass.PRIV
+
+
+def test_classify_rejects_low_addresses():
+    shm = SharedMemory()
+    with pytest.raises(ValueError):
+        shm.classify(SHARED_BASE - 1)
+
+
+def test_hash_addresses_wrap_by_bucket_count():
+    shm = SharedMemory(lock_buckets=16)
+    assert shm.lock_hash_addr(3) == shm.lock_hash_addr(3 + 16)
+
+
+def test_home_fn_distributes_shared_and_pins_private():
+    shm = SharedMemory()
+    home = shm.home_fn()
+    shared_homes = {home(shm.blocks_base + i * PAGE_SIZE) for i in range(8)}
+    assert shared_homes == {0, 1, 2, 3}
+    for node in range(4):
+        priv = PrivateMemory(node)
+        assert home(priv.base) == node
+        assert home(priv.arena_base) == node
+
+
+def test_private_alloc_alignment_and_growth():
+    pm = PrivateMemory(0)
+    a = pm.alloc(10)
+    b = pm.alloc(10)
+    assert a % 8 == 0 and b % 8 == 0
+    assert b >= a + 10
+
+
+def test_arena_wraps():
+    pm = PrivateMemory(0, arena_size=256)
+    first = pm.arena_alloc(128)
+    pm.arena_alloc(128)
+    third = pm.arena_alloc(128)
+    assert third == first  # wrapped
+
+
+def test_arena_oversize_rejected():
+    pm = PrivateMemory(0, arena_size=128)
+    with pytest.raises(MemoryError):
+        pm.arena_alloc(256)
+
+
+def test_hot_alloc_scatters_within_region():
+    pm = PrivateMemory(0, arena_size=4096)
+    addrs = [pm.hot_alloc() for _ in range(32)]
+    assert len(set(addrs)) == len(addrs)
+    for a in addrs:
+        assert pm.hot_base <= a < pm.hot_base + pm.arena_size + 64
+    # Not sequential: consecutive allocations land far apart.
+    deltas = [abs(b - a) for a, b in zip(addrs, addrs[1:])]
+    assert max(deltas) > 256
+
+
+def test_reset_heap_reuses_addresses():
+    pm = PrivateMemory(0)
+    a = pm.alloc(64)
+    h = pm.hot_alloc()
+    pm.reset_heap()
+    assert pm.alloc(64) == a
+    assert pm.hot_alloc() == h
+
+
+def test_private_regions_disjoint_across_nodes():
+    p0, p1 = PrivateMemory(0), PrivateMemory(1)
+    assert p0.alloc(8) != p1.alloc(8)
+
+
+def test_invalid_node_rejected():
+    with pytest.raises(ValueError):
+        PrivateMemory(99)

@@ -1,0 +1,125 @@
+"""Unit tests for the mini-SQL tokenizer and parser."""
+
+import pytest
+
+from repro.db.datatypes import date_to_num
+from repro.db.expr import (
+    AggCall, Between, BinOp, Cmp, Col, Const, InList, Like, Not, Or,
+)
+from repro.db.sql import SqlError, parse, tokenize
+
+
+def test_tokenize_basics():
+    toks = tokenize("SELECT a, 1.5 FROM t WHERE b <= 'x''y'")
+    assert ("keyword", "SELECT") in toks
+    assert ("ident", "a") in toks
+    assert ("number", 1.5) in toks
+    assert ("symbol", "<=") in toks
+    assert ("string", "x'y") in toks
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(SqlError):
+        tokenize("SELECT @ FROM t")
+
+
+def test_simple_select():
+    stmt = parse("SELECT a, b FROM t")
+    assert [i.expr for i in stmt.items] == [Col("a"), Col("b")]
+    assert stmt.tables == ["t"]
+    assert stmt.where == [] and stmt.group_by == [] and stmt.order_by == []
+
+
+def test_case_insensitive_keywords_and_lowercased_idents():
+    stmt = parse("select A from T where A = 1")
+    assert stmt.items[0].expr == Col("a")
+    assert stmt.tables == ["t"]
+
+
+def test_where_conjuncts_flattened():
+    stmt = parse("SELECT a FROM t WHERE a = 1 AND b > 2 AND c < 3")
+    assert len(stmt.where) == 3
+
+
+def test_or_stays_single_conjunct():
+    stmt = parse("SELECT a FROM t WHERE a = 1 OR a = 2")
+    assert len(stmt.where) == 1
+    assert isinstance(stmt.where[0], Or)
+
+
+def test_between_in_like_not():
+    stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 "
+                 "AND b IN (1, 2, 3) AND c LIKE 'x%' AND NOT (a = 9)")
+    kinds = [type(p) for p in stmt.where]
+    assert kinds == [Between, InList, Like, Not]
+    assert stmt.where[1].values == (Const(1), Const(2), Const(3))
+
+
+def test_date_literal_becomes_day_number():
+    stmt = parse("SELECT a FROM t WHERE d < DATE '1995-03-15'")
+    pred = stmt.where[0]
+    assert pred.right == Const(date_to_num("1995-03-15"))
+
+
+def test_arithmetic_precedence():
+    stmt = parse("SELECT a + b * 2 FROM t")
+    e = stmt.items[0].expr
+    assert isinstance(e, BinOp) and e.op == "+"
+    assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+
+def test_parentheses_override_precedence():
+    e = parse("SELECT (a + b) * 2 FROM t").items[0].expr
+    assert e.op == "*" and e.left.op == "+"
+
+
+def test_unary_minus_folds_constants():
+    e = parse("SELECT a FROM t WHERE a > -5").where[0]
+    assert e.right == Const(-5)
+
+
+def test_aggregates_and_aliases():
+    stmt = parse("SELECT SUM(a * 2) AS total, COUNT(*) AS n, AVG(b), "
+                 "MIN(a), MAX(a) FROM t")
+    assert stmt.items[0].alias == "total"
+    assert stmt.items[0].expr == AggCall("SUM", BinOp("*", Col("a"), Const(2)))
+    assert stmt.items[1].expr == AggCall("COUNT", None)
+    assert stmt.items[2].expr.func == "AVG"
+
+
+def test_group_and_order():
+    stmt = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a "
+                 "ORDER BY n DESC, a ASC")
+    assert stmt.group_by == ["a"]
+    assert [(o.key, o.asc) for o in stmt.order_by] == [("n", False), ("a", True)]
+
+
+def test_multiple_tables():
+    stmt = parse("SELECT a FROM t1, t2, t3 WHERE a = b")
+    assert stmt.tables == ["t1", "t2", "t3"]
+
+
+def test_errors():
+    with pytest.raises(SqlError):
+        parse("SELECT FROM t")
+    with pytest.raises(SqlError):
+        parse("SELECT a t")  # missing FROM
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t WHERE")
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t GROUP a")
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t extra tokens")
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t WHERE a IN (b)")  # non-constant IN list
+
+
+def test_string_escapes():
+    stmt = parse("SELECT a FROM t WHERE c = 'it''s'")
+    assert stmt.where[0].right == Const("it's")
+
+
+def test_comparison_operators_all_forms():
+    for op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+        pred = parse(f"SELECT a FROM t WHERE a {op} 1").where[0]
+        assert isinstance(pred, Cmp) and pred.op == op

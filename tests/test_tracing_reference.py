@@ -1,0 +1,85 @@
+"""Tests for the tracing helpers and the reference evaluator itself."""
+
+import pytest
+
+from repro.db.reference import ReferenceError, evaluate
+from repro.db.sql import parse
+from repro.db.tracing import collect, drain, rows_and_events
+from repro.memsim.events import busy, read
+from repro.memsim.events import DataClass
+
+
+def gen_with_return():
+    yield busy(1)
+    yield read(0x100, 4, DataClass.DATA)
+    return "done"
+
+
+def test_drain_returns_value():
+    assert drain(gen_with_return()) == "done"
+
+
+def test_collect_returns_events_and_value():
+    events, value = collect(gen_with_return())
+    assert value == "done"
+    assert events[0] == busy(1)
+    assert len(events) == 2
+
+
+def test_rows_and_events_split():
+    def mixed():
+        yield busy(1)
+        yield [1, 2]
+        yield read(0x100, 4, DataClass.DATA)
+        yield [3, 4]
+
+    rows, events = rows_and_events(mixed())
+    assert rows == [[1, 2], [3, 4]]
+    assert len(events) == 2
+
+
+# -- reference evaluator --------------------------------------------------------
+
+
+def test_reference_single_table(toy_db):
+    rows = evaluate(toy_db, parse("SELECT a_key FROM ta WHERE a_val = 0"))
+    want = [r[0] for r in toy_db.tables["ta"].rows if r[1] == 0]
+    assert sorted(x[0] for x in rows) == sorted(want)
+
+
+def test_reference_join(toy_db):
+    rows = evaluate(toy_db, parse(
+        "SELECT a_key, b_amt FROM ta, tb WHERE a_key = b_key AND a_val < 2"
+    ))
+    # Brute force cross-check.
+    ta, tb = toy_db.tables["ta"].rows, toy_db.tables["tb"].rows
+    want = [(a[0], b[1]) for a in ta if a[1] < 2 for b in tb if b[0] == a[0]]
+    assert sorted((r[0], r[1]) for r in rows) == sorted(want)
+
+
+def test_reference_group_order(toy_db):
+    rows = evaluate(toy_db, parse(
+        "SELECT a_tag, COUNT(*) AS n FROM ta GROUP BY a_tag ORDER BY n DESC"
+    ))
+    counts = [r[1] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert sum(counts) == 200
+
+
+def test_reference_aggregate_no_rows(toy_db):
+    rows = evaluate(toy_db, parse(
+        "SELECT COUNT(*) AS n FROM ta WHERE a_val > 9999"
+    ))
+    assert rows == [[0]]
+
+
+def test_reference_rejects_cartesian(toy_db):
+    with pytest.raises(ReferenceError):
+        evaluate(toy_db, parse("SELECT a_key, b_key FROM ta, tb"))
+
+
+def test_reference_rejects_non_equi_cross_pred(toy_db):
+    with pytest.raises(ReferenceError):
+        evaluate(toy_db, parse(
+            "SELECT a_key FROM ta, tb WHERE a_key < b_key"
+        ))

@@ -1,0 +1,79 @@
+"""Unit tests for the 16-entry write buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.writebuffer import WriteBuffer
+
+
+def test_no_stall_when_buffer_has_room():
+    wb = WriteBuffer(capacity=2)
+    assert wb.issue(0, 10) == 0
+    assert wb.issue(0, 10) == 0
+
+
+def test_stall_on_overflow():
+    wb = WriteBuffer(capacity=1)
+    wb.issue(0, 100)  # completes at 100
+    stall = wb.issue(0, 100)
+    assert stall == 100  # waits for the first to retire
+
+
+def test_serial_retirement():
+    wb = WriteBuffer(capacity=4)
+    wb.issue(0, 10)  # completes at 10
+    wb.issue(0, 10)  # completes at 20, not 10
+    assert wb.drain_time(0) == 20
+
+
+def test_entries_drain_with_time():
+    wb = WriteBuffer(capacity=2)
+    wb.issue(0, 5)
+    wb.issue(0, 5)
+    assert wb.pending(0) == 2
+    assert wb.pending(100) == 0
+    assert wb.issue(100, 5) == 0
+
+
+def test_drain_time_is_never_before_now():
+    wb = WriteBuffer()
+    assert wb.drain_time(50) == 50
+
+
+def test_reset():
+    wb = WriteBuffer(capacity=1)
+    wb.issue(0, 1000)
+    wb.reset()
+    assert wb.issue(0, 10) == 0
+    assert wb.stall_cycles == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        WriteBuffer(capacity=0)
+
+
+def test_stall_cycles_accumulate():
+    wb = WriteBuffer(capacity=1)
+    wb.issue(0, 50)
+    wb.issue(0, 50)
+    wb.issue(100, 50)
+    assert wb.stall_cycles == 50
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 40)),
+                min_size=1, max_size=100))
+def test_completion_times_monotone_and_capacity_respected(ops):
+    """Property: completions are strictly ordered and occupancy is bounded."""
+    wb = WriteBuffer(capacity=4)
+    now = 0
+    last_completion = 0
+    for dt, lat in ops:
+        now += dt
+        stall = wb.issue(now, lat)
+        assert stall >= 0
+        assert wb.pending(now + stall) <= 4
+        completion = wb.entries[-1]
+        assert completion > last_completion
+        last_completion = completion
