@@ -16,6 +16,15 @@ def scale():
     return os.environ.get("REPRO_SCALE", "small")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _release_workload_caches():
+    """Drop the memoized databases and traces when the session ends."""
+    yield
+    from repro.core.experiment import clear_caches
+
+    clear_caches()
+
+
 @pytest.fixture(scope="session")
 def db(scale):
     from repro.core.experiment import workload_database

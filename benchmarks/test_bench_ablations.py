@@ -4,29 +4,20 @@ Each ablation disables one modeling ingredient and checks that the effect
 the paper attributes to it disappears (or appears), which validates that
 the reproduction's conclusions come from the modeled mechanisms and not
 from calibration accidents.
+
+The ablations are expressed as :class:`~repro.core.sweep.SweepPoint`
+variants and run through :func:`~repro.core.sweep.run_sweep`, so they
+exercise the same record/replay path as the figure sweeps and share its
+trace cache across points.
 """
 
 from benchmarks.conftest import run_once
-from repro.core.experiment import run_query_workload
-from repro.memsim.events import DataClass
-from repro.memsim.interleave import Interleaver
-from repro.memsim.numa import NumaMachine
-from repro.tpcd.dbgen import build_database
-from repro.tpcd.queries import query_instance
+from repro.core.sweep import SweepPoint, run_sweep
 from repro.tpcd.scales import get_scale
 
 
-def _run_q3(db, sc, home_fn=None, wb_entries=None):
-    cfg = sc.machine_config()
-    if wb_entries is not None:
-        cfg = cfg.replace(wb_entries=wb_entries)
-    machine = NumaMachine(cfg, home_fn=home_fn or db.shmem.home_fn())
-    backends = [db.backend(i, arena_size=sc.arena_size) for i in range(4)]
-    streams = []
-    for i in range(4):
-        qi = query_instance("Q3", seed=i)
-        streams.append(db.execute(qi.sql, backends[i], hints=qi.hints))
-    return Interleaver(machine).run(streams), machine
+def _mem_total(summary):
+    return sum(cpu["mem"] for cpu in summary["cpu"])
 
 
 def test_ablation_lock_check_per_rescan(benchmark, scale):
@@ -37,26 +28,20 @@ def test_ablation_lock_check_per_rescan(benchmark, scale):
     unrelated artifact.
     """
     sc = get_scale(scale)
-
-    def run():
-        base_db = build_database(sf=sc.sf, seed=42)
-        ablated_db = build_database(sf=sc.sf, seed=42,
-                                    cost_model=base_db.cost)
-        ablated_db.lock_check_per_rescan = False
-        base_run, base_m = _run_q3(base_db, sc)
-        abl_run, abl_m = _run_q3(ablated_db, sc)
-        return base_run, base_m, abl_run, abl_m
-
-    base_run, base_m, abl_run, abl_m = run_once(benchmark, run)
-    base_lock = base_m.stats.l2_misses_by_class()[DataClass.LOCKSLOCK]
-    abl_lock = abl_m.stats.l2_misses_by_class()[DataClass.LOCKSLOCK]
+    points = [
+        SweepPoint(key="base", qid="Q3"),
+        SweepPoint(key="ablated", qid="Q3", lock_check_per_rescan=False),
+    ]
+    out = run_once(benchmark, lambda: run_sweep(points, scale=sc))
+    base, abl = out["base"], out["ablated"]
+    base_lock = base["l2_by_class"]["LockSLock"]
+    abl_lock = abl["l2_by_class"]["LockSLock"]
     benchmark.extra_info["lockslock_l2_misses"] = f"{base_lock} -> {abl_lock}"
     benchmark.extra_info["msync"] = (
-        f"{base_run.breakdown()['MSync']:.3f} -> "
-        f"{abl_run.breakdown()['MSync']:.3f}"
+        f"{base['breakdown']['MSync']:.3f} -> {abl['breakdown']['MSync']:.3f}"
     )
     assert abl_lock < 0.3 * max(base_lock, 1)
-    assert abl_run.breakdown()["MSync"] < base_run.breakdown()["MSync"]
+    assert abl["breakdown"]["MSync"] < base["breakdown"]["MSync"]
 
 
 def test_ablation_numa_placement(benchmark, scale):
@@ -67,31 +52,29 @@ def test_ablation_numa_placement(benchmark, scale):
     local and everyone else's remote -- total shared stall shifts.
     """
     sc = get_scale(scale)
-    db = build_database(sf=sc.sf, seed=42)
-
-    def run():
-        rr_run, _ = _run_q3(db, sc)
-        node0_run, _ = _run_q3(db, sc, home_fn=lambda addr: 0)
-        return rr_run, node0_run
-
-    rr_run, node0_run = run_once(benchmark, run)
-    benchmark.extra_info["exec_roundrobin"] = rr_run.exec_time
-    benchmark.extra_info["exec_node0"] = node0_run.exec_time
+    points = [
+        SweepPoint(key="rr", qid="Q3"),
+        SweepPoint(key="node0", qid="Q3", placement="node0"),
+    ]
+    out = run_once(benchmark, lambda: run_sweep(points, scale=sc))
+    rr, node0 = out["rr"], out["node0"]
+    benchmark.extra_info["exec_roundrobin"] = rr["exec_time"]
+    benchmark.extra_info["exec_node0"] = node0["exec_time"]
     # Node 0 finishes faster than the others under node-0 homing.
-    finishes = [s.finish_time for s in node0_run.cpu_stats]
+    finishes = [cpu["finish_time"] for cpu in node0["cpu"]]
     assert finishes[0] == min(finishes)
     # Node 0's share of the machine's memory stall shrinks when all shared
     # pages are homed on it (its fills become 80-cycle local transactions).
     # The comparison is share-vs-share so per-CPU parameter differences in
     # query size cancel out.
-    def share(run):
-        mems = [s.mem for s in run.cpu_stats]
+    def share(summary):
+        mems = [cpu["mem"] for cpu in summary["cpu"]]
         return mems[0] / sum(mems)
 
     benchmark.extra_info["cpu0_mem_share"] = (
-        f"rr {share(rr_run):.3f} -> node0 {share(node0_run):.3f}"
+        f"rr {share(rr):.3f} -> node0 {share(node0):.3f}"
     )
-    assert share(node0_run) < share(rr_run)
+    assert share(node0) < share(rr)
 
 
 def test_ablation_write_buffer_depth(benchmark, scale):
@@ -101,17 +84,15 @@ def test_ablation_write_buffer_depth(benchmark, scale):
     buffer from 16 entries to 1 must increase memory stall time.
     """
     sc = get_scale(scale)
-    db = build_database(sf=sc.sf, seed=42)
-
-    def run():
-        deep_run, _ = _run_q3(db, sc, wb_entries=16)
-        shallow_run, _ = _run_q3(db, sc, wb_entries=1)
-        return deep_run, shallow_run
-
-    deep_run, shallow_run = run_once(benchmark, run)
-    benchmark.extra_info["exec_wb16"] = deep_run.exec_time
-    benchmark.extra_info["exec_wb1"] = shallow_run.exec_time
-    assert shallow_run.total.mem > deep_run.total.mem
+    points = [
+        SweepPoint(key="wb16", qid="Q3", machine={"wb_entries": 16}),
+        SweepPoint(key="wb1", qid="Q3", machine={"wb_entries": 1}),
+    ]
+    out = run_once(benchmark, lambda: run_sweep(points, scale=sc))
+    deep, shallow = out["wb16"], out["wb1"]
+    benchmark.extra_info["exec_wb16"] = deep["exec_time"]
+    benchmark.extra_info["exec_wb1"] = shallow["exec_time"]
+    assert _mem_total(shallow) > _mem_total(deep)
 
 
 def test_ablation_arena_size(benchmark, scale):
@@ -122,23 +103,12 @@ def test_ablation_arena_size(benchmark, scale):
     collapses -- evidence the effect is footprint-driven.
     """
     sc = get_scale(scale)
-
-    def run():
-        db = build_database(sf=sc.sf, seed=42)
-        cfg = sc.machine_config()
-        out = {}
-        for arena in (sc.l1_size // 2, sc.arena_size):
-            machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
-            backends = [db.backend(i, arena_size=arena) for i in range(4)]
-            streams = []
-            for i in range(4):
-                qi = query_instance("Q6", seed=i)
-                streams.append(db.execute(qi.sql, backends[i], hints=qi.hints))
-            Interleaver(machine).run(streams)
-            out[arena] = sum(machine.stats.grouped("l1")["Priv"])
-        return out
-
-    misses = run_once(benchmark, run)
+    arenas = (sc.l1_size // 2, sc.arena_size)
+    points = [SweepPoint(key=arena, qid="Q6", arena_size=arena)
+              for arena in arenas]
+    out = run_once(benchmark, lambda: run_sweep(points, scale=sc))
+    misses = {arena: sum(out[arena]["l1_grouped"]["Priv"])
+              for arena in arenas}
     small_arena, big_arena = sorted(misses)
     benchmark.extra_info["priv_l1_misses"] = (
         f"arena {small_arena}B: {misses[small_arena]}  "

@@ -1,0 +1,33 @@
+"""Throughput of the record/replay sweep engine.
+
+Times the Figure 8 line-size sweep (3 queries x 5 line sizes = 15
+simulations) end to end through :func:`repro.core.sweep.run_sweep`,
+starting from cold caches: the measured interval includes database
+construction, one trace recording per query, and the 15 replayed
+simulations.  ``extra_info`` records the aggregate simulated cycles and
+the replay throughput in cycles per second, the headline number for the
+trace-cache optimization.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.experiment import clear_caches
+from repro.experiments import fig8
+from repro.tpcd.scales import get_scale
+
+
+def test_bench_fig8_sweep(benchmark, scale):
+    sc = get_scale(scale)
+    clear_caches()
+
+    results = run_once(benchmark, lambda: fig8.run(scale=sc))
+
+    n_points = sum(len(per_line) for per_line in results.values())
+    total_cycles = sum(cell["exec_time"]
+                       for per_line in results.values()
+                       for cell in per_line.values())
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info["simulations"] = n_points
+    benchmark.extra_info["simulated_cycles"] = total_cycles
+    benchmark.extra_info["cycles_per_sec"] = f"{total_cycles / elapsed:,.0f}"
+    benchmark.extra_info["wall_time_sec"] = f"{elapsed:.2f}"
+    assert n_points == len(fig8.QUERIES) * len(fig8.LINE_SIZES)

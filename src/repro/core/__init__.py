@@ -8,14 +8,18 @@ on.
 
 from repro.core.experiment import (
     WorkloadResult,
+    clear_caches,
     run_mixed_workload,
     run_query_workload,
     run_warm_workload,
     workload_database,
+    workload_trace_cache,
 )
 from repro.core.report import format_table, normalize, percent
 from repro.core.locality import LocalityReport, analyze, analyze_query
 from repro.core.parallel import run_intra_query_workload
+from repro.core.sweep import SweepPoint, run_sweep, summarize
+from repro.core.tracecache import QueryTrace, TraceCache
 
 __all__ = [
     "LocalityReport",
@@ -23,10 +27,17 @@ __all__ = [
     "analyze_query",
     "run_intra_query_workload",
     "WorkloadResult",
+    "clear_caches",
     "run_mixed_workload",
     "run_query_workload",
     "run_warm_workload",
     "workload_database",
+    "workload_trace_cache",
+    "QueryTrace",
+    "TraceCache",
+    "SweepPoint",
+    "run_sweep",
+    "summarize",
     "format_table",
     "normalize",
     "percent",

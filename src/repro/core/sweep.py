@@ -1,0 +1,207 @@
+"""Parallel sweep driver: one trace recording, many machine simulations.
+
+Sweep experiments (Figures 8-11, the ablation benchmarks) simulate the same
+workload under many machine configurations.  Live execution costs
+``O(configs x full-engine-execution)``; with the trace cache it is
+``O(1 engine execution + configs x replay)``, and the replays are
+independent, so they also parallelize over a process pool.
+
+A sweep is a list of :class:`SweepPoint` specifications -- picklable, so
+they can be shipped to ``spawn`` workers.  Each worker process rebuilds the
+(deterministic) database and trace cache once, then iterates its assigned
+points; results come back as plain-dict summaries (:func:`summarize`), not
+live ``WorkloadResult`` objects, so nothing unpicklable crosses the
+process boundary.
+
+With ``jobs=1`` (the default) everything runs in-process against the
+shared per-scale caches; results are identical either way because database
+generation, query parameters, and backend transaction ids are all
+process-independent.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.memsim.events import CLASS_NAMES, DataClass, N_CLASSES
+from repro.memsim.interleave import Interleaver
+from repro.memsim.numa import NumaMachine
+from repro.tpcd.scales import get_scale
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation of a sweep: a workload under one machine setup.
+
+    ``key`` identifies the point in the result dict.  ``machine`` holds
+    :class:`~repro.memsim.numa.MachineConfig` overrides applied to the
+    scale's baseline (e.g. ``{"l2_line": 128, "l1_line": 64}``).  The
+    remaining fields select workload-side variants used by the ablation
+    benchmarks: private-arena size, NUMA page placement (``"shared"``
+    round-robin or ``"node0"`` single-home), and the engine's per-rescan
+    lock revalidation.
+    """
+
+    key: object
+    qid: str
+    machine: dict = field(default_factory=dict)
+    n_procs: int = 4
+    seed_base: int = 0
+    arena_size: int = None
+    placement: str = "shared"
+    lock_check_per_rescan: bool = True
+
+
+def summarize(result):
+    """Reduce a :class:`WorkloadResult` to a picklable plain-dict summary.
+
+    Carries everything the sweep-based experiments read: execution time,
+    the Busy/MSync/SMem/PMem split, grouped and per-class miss counts for
+    both cache levels, and per-processor time accounting.
+    """
+    stats = result.stats
+    return {
+        "exec_time": result.exec_time,
+        "components": result.time_components(),
+        "breakdown": result.breakdown(),
+        "l1_grouped": stats.grouped("l1"),
+        "l2_grouped": stats.grouped("l2"),
+        "l1_by_class": {CLASS_NAMES[DataClass(c)]: sum(stats.l1_read_misses[c])
+                        for c in range(N_CLASSES)},
+        "l2_by_class": {CLASS_NAMES[DataClass(c)]: sum(stats.l2_read_misses[c])
+                        for c in range(N_CLASSES)},
+        "l1_reads": stats.l1_reads,
+        "l1_writes": stats.l1_writes,
+        "cpu": [
+            {"busy": s.busy, "msync": s.msync, "mem": s.mem,
+             "finish_time": s.finish_time}
+            for s in result.run.cpu_stats
+        ],
+    }
+
+
+# -- per-process database / trace-cache store -----------------------------------
+
+#: ``(scale_name, seed, lock_check_per_rescan) -> (db, TraceCache)``, one
+#: entry per variant per process (workers build their own copy once).
+_VARIANT_CACHE = {}
+
+#: ``(scale_name, seed, point identity) -> summary``.  Sweep points are
+#: deterministic, so experiments that sweep the same configurations (the
+#: Figure 8/9 and Figure 10/11 pairs report misses and time from identical
+#: simulations) share one run per point.  Treat cached summaries as
+#: immutable: copy before editing.
+_POINT_CACHE = {}
+
+
+def _point_cache_key(point, scale, seed):
+    return (scale.name, seed, point.qid,
+            tuple(sorted(point.machine.items())), point.n_procs,
+            point.seed_base, point.arena_size, point.placement,
+            point.lock_check_per_rescan)
+
+
+def _variant(scale, seed, lock_check_per_rescan):
+    from repro.core.experiment import workload_database, workload_trace_cache
+    from repro.core.tracecache import TraceCache
+    from repro.tpcd.dbgen import build_database
+
+    if lock_check_per_rescan:
+        return (workload_database(scale, seed),
+                workload_trace_cache(scale, seed))
+    key = (scale.name, seed, lock_check_per_rescan)
+    if key not in _VARIANT_CACHE:
+        db = build_database(sf=scale.sf, seed=seed)
+        db.lock_check_per_rescan = lock_check_per_rescan
+        _VARIANT_CACHE[key] = (db, TraceCache(db, scale))
+    return _VARIANT_CACHE[key]
+
+
+def clear_variant_cache():
+    """Drop the sweep driver's ablation-variant databases and traces, and
+    the memoized point summaries."""
+    _VARIANT_CACHE.clear()
+    _POINT_CACHE.clear()
+
+
+def _home_fn(db, placement):
+    if placement == "shared":
+        return db.shmem.home_fn()
+    if placement == "node0":
+        return lambda addr: 0
+    raise ValueError(f"unknown placement {placement!r}")
+
+
+def run_point(point, scale, seed=42):
+    """Simulate one sweep point from the per-process caches; return its
+    summary dict (memoized per point identity)."""
+    from repro.core.experiment import WorkloadResult
+
+    scale = get_scale(scale)
+    ckey = _point_cache_key(point, scale, seed)
+    summary = _POINT_CACHE.get(ckey)
+    if summary is not None:
+        return summary
+    db, trace_cache = _variant(scale, seed, point.lock_check_per_rescan)
+    cfg = scale.machine_config(**point.machine)
+    machine = NumaMachine(cfg, home_fn=_home_fn(db, point.placement))
+    sink = {}
+    arena = point.arena_size or scale.arena_size
+    streams = [
+        trace_cache.stream(point.qid, point.seed_base + i, i,
+                           arena_size=arena, sink=sink)
+        for i in range(point.n_procs)
+    ]
+    run = Interleaver(machine).run(streams)
+    summary = summarize(WorkloadResult(point.qid, scale, machine, run, sink))
+    _POINT_CACHE[ckey] = summary
+    return summary
+
+
+# -- process-pool execution ------------------------------------------------------
+
+_WORKER_ARGS = None
+
+
+def _worker_init(scale, seed):
+    global _WORKER_ARGS
+    _WORKER_ARGS = (scale, seed)
+
+
+def _worker_run(point):
+    scale, seed = _WORKER_ARGS
+    return run_point(point, scale, seed=seed)
+
+
+def run_sweep(points, scale="small", seed=42, jobs=1):
+    """Run every sweep point; return ``{point.key: summary}`` in order.
+
+    ``jobs=1`` runs in-process.  ``jobs>1`` fans the points out over a
+    ``spawn`` process pool; each worker rebuilds the database and records
+    the traces it needs exactly once, then replays its assigned points.
+    Results are independent of ``jobs``.
+    """
+    points = list(points)
+    scale = get_scale(scale)
+    # Only memo misses go to the pool: a sweep whose points were already
+    # simulated (e.g. fig9 right after fig8) answers from the parent's
+    # memo without spawning workers.
+    todo = [p for p in points
+            if _point_cache_key(p, scale, seed) not in _POINT_CACHE]
+    if jobs > 1 and len(todo) > 1:
+        ctx = multiprocessing.get_context("spawn")
+        jobs = min(jobs, len(todo))
+        # Contiguous chunks keep one query's config points together
+        # (sweeps are built query-major), so a worker usually records one
+        # trace set and replays its whole chunk against it.
+        chunksize = max(1, len(todo) // (jobs * 2))
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                                 initializer=_worker_init,
+                                 initargs=(scale, seed)) as pool:
+            summaries = list(pool.map(_worker_run, todo,
+                                      chunksize=chunksize))
+        # Keep the parent's memo warm so a later sweep over the same
+        # points (the misses/time figure pairs) is free.
+        for p, s in zip(todo, summaries):
+            _POINT_CACHE[_point_cache_key(p, scale, seed)] = s
+    return {p.key: run_point(p, scale, seed=seed) for p in points}

@@ -1,0 +1,241 @@
+"""Trace record/replay cache: run each query once, simulate it many times.
+
+The reference stream a query emits is *machine-independent*: the engine
+never observes the simulated memory system (the interleaver only ever calls
+``next()`` on a stream), so the exact same event sequence drives every
+machine configuration of a sweep.  The paper's own methodology separates
+trace generation (Mint) from memory-system analysis; this module does the
+same for the reproduction.
+
+A :class:`QueryTrace` stores one ``(qid, seed, node, arena_size)`` event
+stream in a compact columnar encoding -- four flat arrays plus an interned
+spinlock-name table -- with consecutive ``EV_BUSY`` and consecutive
+``EV_HIT`` events coalesced at record time.  Coalescing is exact: busy/hit
+events only advance the emitting processor's clock and add to additive
+counters, and the engine never emits them inside a spinlock critical
+section, so waiter-observed holder clocks are unchanged.  Spinlock *retry*
+logic lives in the interleaver (a contended acquire is re-dispatched from
+``pending``, never re-emitted by the stream), so replayed lock handoffs
+reproduce live coherence behaviour bit for bit.
+
+Result rows are captured at record time, so replayed workloads still
+populate ``WorkloadResult.rows_per_cpu``.
+
+:class:`TraceCache` memoizes traces per database the way
+``experiment._DB_CACHE`` memoizes databases; use
+:func:`repro.core.experiment.workload_trace_cache` for the shared
+per-scale instance and :func:`repro.core.experiment.clear_caches` to drop
+both layers.
+"""
+
+from array import array
+
+from repro.memsim.events import (
+    EV_BUSY, EV_HIT, EV_LOCK_ACQ, EV_LOCK_REL, EV_READ, EV_WRITE,
+)
+from repro.tpcd.queries import query_instance
+from repro.tpcd.scales import get_scale
+
+
+class QueryTrace:
+    """One recorded event stream in columnar form, plus its result rows.
+
+    Layout (parallel arrays, one entry per coalesced event):
+
+    ========  =============  ============  =========  ============  =========
+    kind      ``a``          ``b``         ``c``      ``d``         ``e``
+    ========  =============  ============  =========  ============  =========
+    READ      addr           size          cls        inert cycles  hit count
+    WRITE     addr           size          cls        inert cycles  hit count
+    BUSY      cycles         --            --         --            --
+    HIT       count          --            --         --            --
+    LOCK_ACQ  lock-id index  addr          cls        --            --
+    LOCK_REL  lock-id index  addr          cls        --            --
+    ========  =============  ============  =========  ============  =========
+
+    ``d``/``e`` carry the run of busy/hit events that followed a memory
+    reference, fused into its row: replay dispatches the reference and the
+    trailing compute cycles in one step.  The fusion is exact because
+    busy/hit events never touch the machine -- they only advance the
+    emitting processor's clock and add to additive counters, so the global
+    order of machine operations is unchanged (``e`` is the always-hit
+    reference count inside ``d``, which feeds the machine's ``l1_reads``).
+    Standalone busy/hit runs (at stream start or after a lock event, whose
+    retry dispatch must not carry extra cycles) stay their own rows.
+    """
+
+    __slots__ = ("kinds", "a", "b", "c", "d", "e", "lock_ids", "rows",
+                 "n_source_events")
+
+    def __init__(self):
+        self.kinds = array("b")
+        self.a = array("q")
+        self.b = array("q")
+        self.c = array("b")
+        self.d = array("l")
+        self.e = array("l")
+        self.lock_ids = []
+        self.rows = None
+        self.n_source_events = 0
+
+    def __len__(self):
+        return len(self.kinds)
+
+    def nbytes(self):
+        """Approximate encoded size in bytes (diagnostics)."""
+        return sum(arr.itemsize * len(arr)
+                   for arr in (self.kinds, self.a, self.b, self.c,
+                               self.d, self.e))
+
+    def replay(self, sink=None, node=None):
+        """Generator re-emitting the recorded events as plain tuples.
+
+        Tuples have the shapes of :mod:`repro.memsim.events`, so the
+        interleaver consumes a replay stream unchanged -- except fused
+        memory references, which extend the 4-tuple with their trailing
+        ``(inert cycles, hit count)`` and dispatch as one event.  When
+        ``sink`` is given, ``sink[node]`` is set to the recorded result
+        rows after the last event, mirroring the live ``_query_stream``
+        behaviour.
+        """
+        lock_ids = self.lock_ids
+        for k, x, y, z, inert, hits in zip(self.kinds, self.a, self.b,
+                                           self.c, self.d, self.e):
+            if k <= EV_WRITE:  # EV_READ / EV_WRITE
+                if inert:
+                    yield (k, x, y, z, inert, hits)
+                else:
+                    yield (k, x, y, z)
+            elif k == EV_BUSY or k == EV_HIT:
+                yield (k, x)
+            else:  # EV_LOCK_ACQ / EV_LOCK_REL
+                yield (k, lock_ids[x], y, z)
+        if sink is not None:
+            sink[node] = self.rows
+
+
+def record(gen):
+    """Consume a traced generator; return its :class:`QueryTrace`.
+
+    Busy/hit events following a memory reference are fused into that row's
+    ``d``/``e`` columns; standalone runs of consecutive ``EV_BUSY`` (or
+    consecutive ``EV_HIT``) events are merged into one row.
+    """
+    trace = QueryTrace()
+    kinds = trace.kinds
+    a = trace.a
+    b = trace.b
+    c = trace.c
+    d = trace.d
+    e = trace.e
+    lock_ids = trace.lock_ids
+    lock_index = {}
+    n = 0
+    fusable = False      # last row is READ/WRITE with no lock event since
+    last_mergeable = -1  # kind of the previous row iff standalone BUSY/HIT
+    try:
+        while True:
+            ev = next(gen)
+            n += 1
+            k = ev[0]
+            if k == EV_BUSY or k == EV_HIT:
+                if fusable:
+                    d[-1] += ev[1]
+                    if k == EV_HIT:
+                        e[-1] += ev[1]
+                    continue
+                if k == last_mergeable:
+                    a[-1] += ev[1]
+                    continue
+                kinds.append(k)
+                a.append(ev[1])
+                b.append(0)
+                c.append(0)
+                d.append(0)
+                e.append(0)
+                last_mergeable = k
+                continue
+            last_mergeable = -1
+            if k <= EV_WRITE:  # EV_READ / EV_WRITE
+                kinds.append(k)
+                a.append(ev[1])
+                b.append(ev[2])
+                c.append(ev[3])
+                d.append(0)
+                e.append(0)
+                fusable = True
+            elif k == EV_LOCK_ACQ or k == EV_LOCK_REL:
+                lock_id = ev[1]
+                idx = lock_index.get(lock_id)
+                if idx is None:
+                    idx = lock_index[lock_id] = len(lock_ids)
+                    lock_ids.append(lock_id)
+                kinds.append(k)
+                a.append(idx)
+                b.append(ev[2])
+                c.append(ev[3])
+                d.append(0)
+                e.append(0)
+                fusable = False
+            else:
+                raise ValueError(f"unknown event kind {k!r}")
+    except StopIteration as stop:
+        trace.rows = stop.value
+    trace.n_source_events = n
+    return trace
+
+
+class TraceCache:
+    """Memoized query traces for one database instance.
+
+    Traces are keyed by ``(qid, seed, node, arena_size)``.  Recording is
+    side-effect free on the database (queries are read-only and the
+    recording backend's transaction id is the deterministic per-node one a
+    live workload would use), so live and replayed runs can be freely
+    interleaved against the same database.
+    """
+
+    def __init__(self, db, scale):
+        self.db = db
+        self.scale = get_scale(scale)
+        self._traces = {}
+
+    def get(self, qid, seed, node, arena_size=None):
+        """Return the trace for one query instance, recording on first use."""
+        if arena_size is None:
+            arena_size = self.scale.arena_size
+        key = (qid, seed, node, arena_size)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = self._record(qid, seed, node, arena_size)
+            self._traces[key] = trace
+        return trace
+
+    def _record(self, qid, seed, node, arena_size):
+        qi = query_instance(qid, seed=seed)
+        backend = self.db.backend(node, arena_size=arena_size)
+        return record(self.db.execute(qi.sql, backend, hints=qi.hints))
+
+    def stream(self, qid, seed, node, arena_size=None, sink=None):
+        """A replay generator ready to hand to the interleaver as node's
+        processor stream."""
+        return self.get(qid, seed, node, arena_size).replay(sink=sink, node=node)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def __len__(self):
+        return len(self._traces)
+
+    def clear(self):
+        """Drop every recorded trace."""
+        self._traces.clear()
+
+    def stats(self):
+        """Summary of cache contents: traces, events, encoded bytes."""
+        return {
+            "traces": len(self._traces),
+            "events": sum(len(t) for t in self._traces.values()),
+            "source_events": sum(t.n_source_events
+                                 for t in self._traces.values()),
+            "bytes": sum(t.nbytes() for t in self._traces.values()),
+        }

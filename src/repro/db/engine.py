@@ -39,16 +39,22 @@ class QueryResult:
 
 
 class Backend:
-    """One database process: private heap + transaction identity."""
+    """One database process: private heap + transaction identity.
 
-    _next_xid = 100
+    The transaction id is a deterministic function of the node: it feeds
+    the Xid Hash addresses the lock manager touches, so a global counter
+    would make simulated miss counts depend on how many backends happened
+    to exist earlier in the process.  Pass ``xid=`` to override (e.g. for
+    two writing backends on one node).
+    """
 
-    def __init__(self, db, node, arena_size=64 * 1024):
+    XID_BASE = 100
+
+    def __init__(self, db, node, arena_size=64 * 1024, xid=None):
         self.db = db
         self.node = node
         self.priv = PrivateMemory(node, arena_size=arena_size)
-        self.xid = Backend._next_xid
-        Backend._next_xid += 1
+        self.xid = Backend.XID_BASE + node if xid is None else xid
 
 
 class Database:

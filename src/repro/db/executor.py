@@ -16,6 +16,7 @@ column.
 """
 
 import math
+import zlib
 
 from repro.db.expr import columns_of, compile_expr, op_count
 from repro.db.plan import (
@@ -26,6 +27,19 @@ from repro.memsim.events import DataClass, busy, hit, read, write
 
 COL_BYTES = 8
 _SENTINEL = object()
+
+
+def _stable_hash(key):
+    """Process-independent hash for simulated hash-table addressing.
+
+    ``hash(str)`` is randomized per interpreter, which would make the
+    simulated probe addresses (and so the whole miss profile) differ from
+    run to run and between sweep worker processes.  Numbers already hash
+    deterministically.
+    """
+    if isinstance(key, str):
+        return zlib.crc32(key.encode())
+    return hash(key)
 
 
 class ExecError(RuntimeError):
@@ -421,7 +435,7 @@ class HashJoinOp(_Op):
             yield hit(cost.stack_refs_row)
             key = orow[self.outer_key_idx]
             yield busy(cost.hash_op)
-            yield read(ht_base + (hash(key) % n_buckets) * 8, 8, 0)
+            yield read(ht_base + (_stable_hash(key) % n_buckets) * 8, 8, 0)
             matches = table.get(key)
             if not matches:
                 continue

@@ -7,8 +7,8 @@ data's primary-cache misses collapse and, for the Index query Q3, indices
 and metadata show reuse.
 """
 
-from repro.core.experiment import run_query_workload
 from repro.core.report import format_table
+from repro.core.sweep import SweepPoint, run_sweep
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -16,22 +16,27 @@ MULTIPLIERS = [1, 4, 16, 64]
 GROUPS = ["Priv", "Data", "Index", "Metadata"]
 
 
-def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS):
-    """Return per-query, per-size grouped miss counts for L1 and L2."""
+def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS,
+        jobs=1):
+    """Return per-query, per-size grouped miss counts for L1 and L2.
+
+    Runs on the sweep driver (recorded traces, optional process pool); see
+    :func:`repro.experiments.fig8.run`.
+    """
     sc = get_scale(scale)
+    points = [
+        SweepPoint(key=(qid, mult), qid=qid,
+                   machine={"l1_size": sc.l1_size * mult,
+                            "l2_size": sc.l2_size * mult})
+        for qid in queries for mult in multipliers
+    ]
     results = {}
-    for qid in queries:
-        per_size = {}
-        for mult in multipliers:
-            cfg = sc.machine_config(l1_size=sc.l1_size * mult,
-                                    l2_size=sc.l2_size * mult)
-            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
-            per_size[mult] = {
-                "l1": {g: sum(v) for g, v in w.stats.grouped("l1").items()},
-                "l2": {g: sum(v) for g, v in w.stats.grouped("l2").items()},
-                "exec_time": w.exec_time,
-            }
-        results[qid] = per_size
+    for (qid, mult), s in run_sweep(points, scale=sc, jobs=jobs).items():
+        results.setdefault(qid, {})[mult] = {
+            "l1": {g: sum(v) for g, v in s["l1_grouped"].items()},
+            "l2": {g: sum(v) for g, v in s["l2_grouped"].items()},
+            "exec_time": s["exec_time"],
+        }
     return results
 
 

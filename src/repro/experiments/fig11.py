@@ -5,8 +5,8 @@ the speedup from larger caches comes from private data (PMem); Q3 also
 gains in SMem from index and metadata temporal locality.
 """
 
-from repro.core.experiment import run_query_workload
 from repro.core.report import format_table
+from repro.core.sweep import SweepPoint, run_sweep
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -14,20 +14,25 @@ MULTIPLIERS = [1, 4, 16, 64]
 COMPONENTS = ["Busy", "MSync", "SMem", "PMem"]
 
 
-def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS):
-    """Return per-query, per-size time components (cycles)."""
+def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS,
+        jobs=1):
+    """Return per-query, per-size time components (cycles).
+
+    Runs on the sweep driver (recorded traces, optional process pool); see
+    :func:`repro.experiments.fig8.run`.
+    """
     sc = get_scale(scale)
+    points = [
+        SweepPoint(key=(qid, mult), qid=qid,
+                   machine={"l1_size": sc.l1_size * mult,
+                            "l2_size": sc.l2_size * mult})
+        for qid in queries for mult in multipliers
+    ]
     results = {}
-    for qid in queries:
-        per_size = {}
-        for mult in multipliers:
-            cfg = sc.machine_config(l1_size=sc.l1_size * mult,
-                                    l2_size=sc.l2_size * mult)
-            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
-            comp = w.time_components()
-            comp["exec_time"] = w.exec_time
-            per_size[mult] = comp
-        results[qid] = per_size
+    for (qid, mult), s in run_sweep(points, scale=sc, jobs=jobs).items():
+        comp = dict(s["components"])
+        comp["exec_time"] = s["exec_time"]
+        results.setdefault(qid, {})[mult] = comp
     return results
 
 

@@ -5,8 +5,8 @@ half), counting misses per data-structure group in both caches, normalized
 to the baseline (32-byte L1 / 64-byte L2 lines).
 """
 
-from repro.core.experiment import run_query_workload
 from repro.core.report import format_table
+from repro.core.sweep import SweepPoint, run_sweep
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -15,21 +15,28 @@ BASELINE_LINE = 64
 GROUPS = ["Priv", "Data", "Index", "Metadata"]
 
 
-def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES):
-    """Return per-query, per-line-size grouped miss counts for L1 and L2."""
+def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES,
+        jobs=1):
+    """Return per-query, per-line-size grouped miss counts for L1 and L2.
+
+    Runs on the sweep driver: the workload is recorded once per query and
+    replayed against every line size (``jobs>1`` fans the points out over a
+    process pool).  ``db`` is accepted for compatibility and must be the
+    shared per-scale database the driver rebuilds itself.
+    """
     sc = get_scale(scale)
+    points = [
+        SweepPoint(key=(qid, l2_line), qid=qid,
+                   machine={"l1_line": l2_line // 2, "l2_line": l2_line})
+        for qid in queries for l2_line in line_sizes
+    ]
     results = {}
-    for qid in queries:
-        per_line = {}
-        for l2_line in line_sizes:
-            cfg = sc.machine_config(l1_line=l2_line // 2, l2_line=l2_line)
-            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
-            per_line[l2_line] = {
-                "l1": {g: sum(v) for g, v in w.stats.grouped("l1").items()},
-                "l2": {g: sum(v) for g, v in w.stats.grouped("l2").items()},
-                "exec_time": w.exec_time,
-            }
-        results[qid] = per_line
+    for (qid, l2_line), s in run_sweep(points, scale=sc, jobs=jobs).items():
+        results.setdefault(qid, {})[l2_line] = {
+            "l1": {g: sum(v) for g, v in s["l1_grouped"].items()},
+            "l2": {g: sum(v) for g, v in s["l2_grouped"].items()},
+            "exec_time": s["exec_time"],
+        }
     return results
 
 

@@ -6,8 +6,8 @@ Busy / MSync / SMem / PMem.  The paper's conclusion: the minimum falls at
 until the growing private-data misses win.
 """
 
-from repro.core.experiment import run_query_workload
 from repro.core.report import format_table
+from repro.core.sweep import SweepPoint, run_sweep
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -16,19 +16,24 @@ BASELINE_LINE = 64
 COMPONENTS = ["Busy", "MSync", "SMem", "PMem"]
 
 
-def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES):
-    """Return per-query, per-line-size time components (cycles)."""
+def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES,
+        jobs=1):
+    """Return per-query, per-line-size time components (cycles).
+
+    Runs on the sweep driver (recorded traces, optional process pool); see
+    :func:`repro.experiments.fig8.run`.
+    """
     sc = get_scale(scale)
+    points = [
+        SweepPoint(key=(qid, l2_line), qid=qid,
+                   machine={"l1_line": l2_line // 2, "l2_line": l2_line})
+        for qid in queries for l2_line in line_sizes
+    ]
     results = {}
-    for qid in queries:
-        per_line = {}
-        for l2_line in line_sizes:
-            cfg = sc.machine_config(l1_line=l2_line // 2, l2_line=l2_line)
-            w = run_query_workload(qid, scale=sc, machine_config=cfg, db=db)
-            comp = w.time_components()
-            comp["exec_time"] = w.exec_time
-            per_line[l2_line] = comp
-        results[qid] = per_line
+    for (qid, l2_line), s in run_sweep(points, scale=sc, jobs=jobs).items():
+        comp = dict(s["components"])
+        comp["exec_time"] = s["exec_time"]
+        results.setdefault(qid, {})[l2_line] = comp
     return results
 
 

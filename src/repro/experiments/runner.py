@@ -6,9 +6,11 @@ Usage::
     repro-experiments table1 fig6 --scale small
     repro-experiments all --scale paper     # the full 1/100 TPC-D sizing
     REPRO_SCALE=paper repro-experiments all # same, via the environment
+    repro-experiments fig8 fig9 --jobs 4    # sweeps on a 4-worker pool
 """
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -26,6 +28,11 @@ def main(argv=None):
     parser.add_argument("--scale",
                         default=os.environ.get("REPRO_SCALE", "small"),
                         help="scale preset: tiny, small, medium, paper")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep-based experiments "
+                             "(default: 1, run in-process)")
+    parser.add_argument("--time", action="store_true", dest="show_time",
+                        help="print a wall-clock summary after the reports")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     args = parser.parse_args(argv)
@@ -43,13 +50,26 @@ def main(argv=None):
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
 
+    timings = []
     for name in names:
         mod = REGISTRY[name]
+        kwargs = {"scale": args.scale}
+        # Sweep-based experiments take a worker count; the others ignore it.
+        if "jobs" in inspect.signature(mod.run).parameters:
+            kwargs["jobs"] = args.jobs
         start = time.time()
-        results = mod.run(scale=args.scale)
+        results = mod.run(**kwargs)
         elapsed = time.time() - start
+        timings.append((name, elapsed))
         print(f"\n{'=' * 72}\n{name}  (scale={args.scale}, {elapsed:.1f}s)\n{'=' * 72}")
         print(mod.report(results))
+
+    if args.show_time:
+        print(f"\n{'=' * 72}\nTimings  (scale={args.scale}, jobs={args.jobs})"
+              f"\n{'=' * 72}")
+        for name, elapsed in timings:
+            print(f"  {name:8s} {elapsed:8.2f}s")
+        print(f"  {'total':8s} {sum(t for _, t in timings):8.2f}s")
     return 0
 
 

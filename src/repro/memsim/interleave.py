@@ -16,6 +16,10 @@ spinning on, or releasing metalocks are accounted as *MSync* time.
 
 from repro.memsim.stats import CpuStats, merge_cpu_stats
 
+#: Internal marker meaning "this stream raised StopIteration"; it can sit in
+#: a ``pending`` slot when the busy-merge look-ahead hits the end of a stream.
+_EXHAUSTED = object()
+
 
 class LockProtocolError(RuntimeError):
     """A stream acquired or released a spinlock it must not."""
@@ -83,81 +87,159 @@ class Interleaver:
         spin_interval = self.spin_interval
         mread = machine.read
         mwrite = machine.write
+        mstats = machine.stats
+        drain_time = machine.drain_time
+        exhausted = _EXHAUSTED
+        INF = float("inf")
 
         while alive:
-            cpu = min(alive, key=clocks.__getitem__)
-            stream = streams[cpu]
-            ev = pending[cpu]
-            if ev is None:
-                try:
-                    ev = next(stream)
-                except StopIteration:
-                    alive.remove(cpu)
-                    clocks[cpu] = machine.drain_time(cpu, clocks[cpu])
-                    cpu_stats[cpu].finish_time = clocks[cpu]
-                    continue
+            # Pick the earliest processor (``alive`` stays sorted, so ties
+            # resolve to the lowest index exactly as ``min`` does) and the
+            # earliest *other* clock.  While this processor stays strictly
+            # below that limit it remains the unique argmin, so its events
+            # dispatch in a tight inner loop with no rescan per event.
+            k = len(alive)
+            if k == 1:
+                cpu = alive[0]
+                limit = INF
+            elif k == 2:
+                c0, c1 = alive
+                if clocks[c0] <= clocks[c1]:
+                    cpu, limit = c0, clocks[c1]
+                else:
+                    cpu, limit = c1, clocks[c0]
             else:
-                pending[cpu] = None
+                # One pass for both the argmin and the runner-up clock
+                # (ties keep the earlier index, matching ``min``).
+                ait = iter(alive)
+                cpu = next(ait)
+                best = clocks[cpu]
+                limit = INF
+                for i in ait:
+                    ci = clocks[i]
+                    if ci < best:
+                        cpu, limit, best = i, best, ci
+                    elif ci < limit:
+                        limit = ci
 
-            kind = ev[0]
+            next_ev = streams[cpu].__next__
             stats = cpu_stats[cpu]
-            stats.events += 1
+            mem_by_class = stats.mem_by_class
             now = clocks[cpu]
 
-            if kind == 0:  # EV_READ
-                stall = mread(cpu, ev[1], ev[2], ev[3], now)
-                stats.busy += 1
-                stats.mem_by_class[ev[3]] += stall
-                clocks[cpu] = now + 1 + stall
-            elif kind == 1:  # EV_WRITE
-                stall = mwrite(cpu, ev[1], ev[2], ev[3], now)
-                stats.busy += 1
-                stats.mem_by_class[ev[3]] += stall
-                clocks[cpu] = now + 1 + stall
-            elif kind == 2:  # EV_BUSY
-                stats.busy += ev[1]
-                clocks[cpu] = now + ev[1]
-            elif kind == 3:  # EV_LOCK_ACQ
-                lock_id, addr, cls = ev[1], ev[2], ev[3]
-                holder = lock_holder.get(lock_id)
-                if holder == cpu:
-                    raise LockProtocolError(
-                        f"cpu {cpu} re-acquired spinlock {lock_id!r}"
-                    )
-                if holder is None:
-                    # Test-and-set: read-modify-write on the lock word.
-                    cost = 2
-                    cost += mread(cpu, addr, 4, cls, now)
-                    cost += mwrite(cpu, addr, 4, cls, now + cost)
-                    stats.msync += cost
-                    clocks[cpu] = now + cost
-                    lock_holder[lock_id] = cpu
+            while True:
+                ev = pending[cpu]
+                if ev is None:
+                    try:
+                        ev = next_ev()
+                    except StopIteration:
+                        ev = exhausted
                 else:
-                    # Spin on the cached copy and retry later.
-                    wait = spin_interval
-                    holder_clock = clocks[holder]
-                    if holder_clock > now + wait:
-                        wait = holder_clock - now
-                    wait += mread(cpu, addr, 4, cls, now)
-                    stats.msync += wait
-                    clocks[cpu] = now + wait
-                    pending[cpu] = ev
-            elif kind == 5:  # EV_HIT: always-hit stack/static references
-                count = ev[1]
-                stats.busy += count
-                machine.stats.l1_reads += count
-                clocks[cpu] = now + count
-            elif kind == 4:  # EV_LOCK_REL
-                lock_id, addr, cls = ev[1], ev[2], ev[3]
-                if lock_holder.get(lock_id) != cpu:
-                    raise LockProtocolError(
-                        f"cpu {cpu} released spinlock {lock_id!r} it does not hold"
-                    )
-                del lock_holder[lock_id]
-                cost = 1 + mwrite(cpu, addr, 4, cls, now)
-                stats.msync += cost
-                clocks[cpu] = now + cost
-            else:
-                raise ValueError(f"unknown event kind {kind!r}")
+                    pending[cpu] = None
+                if ev is exhausted:
+                    alive.remove(cpu)
+                    now = drain_time(cpu, now)
+                    clocks[cpu] = now
+                    stats.finish_time = now
+                    break
+
+                kind = ev[0]
+                stats.events += 1
+
+                if kind == 0:  # EV_READ
+                    stall = mread(cpu, ev[1], ev[2], ev[3], now)
+                    mem_by_class[ev[3]] += stall
+                    if len(ev) == 4:
+                        stats.busy += 1
+                        now += 1 + stall
+                    else:
+                        # Fused replay row: the reference plus its trailing
+                        # busy/hit run ((cycles, hit count) in ev[4:6]).
+                        inert = ev[4]
+                        stats.busy += 1 + inert
+                        now += 1 + stall + inert
+                        if ev[5]:
+                            mstats.l1_reads += ev[5]
+                elif kind == 1:  # EV_WRITE
+                    stall = mwrite(cpu, ev[1], ev[2], ev[3], now)
+                    mem_by_class[ev[3]] += stall
+                    if len(ev) == 4:
+                        stats.busy += 1
+                        now += 1 + stall
+                    else:
+                        inert = ev[4]
+                        stats.busy += 1 + inert
+                        now += 1 + stall + inert
+                        if ev[5]:
+                            mstats.l1_reads += ev[5]
+                elif kind == 2:  # EV_BUSY
+                    # Batched merge: absorb the whole run of busy events in
+                    # one dispatch (they never touch the machine), parking
+                    # the first non-busy event -- or the end-of-stream
+                    # marker -- in the pending slot.
+                    cycles = ev[1]
+                    while True:
+                        try:
+                            nxt = next_ev()
+                        except StopIteration:
+                            pending[cpu] = exhausted
+                            break
+                        if nxt[0] == 2:
+                            cycles += nxt[1]
+                            stats.events += 1
+                        else:
+                            pending[cpu] = nxt
+                            break
+                    stats.busy += cycles
+                    now += cycles
+                elif kind == 5:  # EV_HIT: always-hit stack/static references
+                    count = ev[1]
+                    stats.busy += count
+                    mstats.l1_reads += count
+                    now += count
+                elif kind == 3:  # EV_LOCK_ACQ
+                    lock_id, addr, cls = ev[1], ev[2], ev[3]
+                    holder = lock_holder.get(lock_id)
+                    if holder == cpu:
+                        raise LockProtocolError(
+                            f"cpu {cpu} re-acquired spinlock {lock_id!r}"
+                        )
+                    if holder is None:
+                        # Test-and-set: read-modify-write on the lock word.
+                        cost = 2
+                        cost += mread(cpu, addr, 4, cls, now)
+                        cost += mwrite(cpu, addr, 4, cls, now + cost)
+                        stats.msync += cost
+                        now += cost
+                        lock_holder[lock_id] = cpu
+                    else:
+                        # Spin on the cached copy and retry later.  The new
+                        # clock is never below the holder's, so the retry
+                        # always leaves the inner loop and rescans.
+                        wait = spin_interval
+                        holder_clock = clocks[holder]
+                        if holder_clock > now + wait:
+                            wait = holder_clock - now
+                        wait += mread(cpu, addr, 4, cls, now)
+                        stats.msync += wait
+                        now += wait
+                        pending[cpu] = ev
+                elif kind == 4:  # EV_LOCK_REL
+                    lock_id, addr, cls = ev[1], ev[2], ev[3]
+                    if lock_holder.get(lock_id) != cpu:
+                        raise LockProtocolError(
+                            f"cpu {cpu} released spinlock {lock_id!r} "
+                            "it does not hold"
+                        )
+                    del lock_holder[lock_id]
+                    cost = 1 + mwrite(cpu, addr, 4, cls, now)
+                    stats.msync += cost
+                    now += cost
+                else:
+                    raise ValueError(f"unknown event kind {kind!r}")
+
+                if now >= limit:
+                    clocks[cpu] = now
+                    break
 
         return RunResult(machine, cpu_stats)

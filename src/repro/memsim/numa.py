@@ -105,6 +105,15 @@ class NumaMachine:
         self._l2_shift = self.l2[0].line_shift
         self._ratio_shift = self._l2_shift - self._l1_shift
         self._pending_fill = {}
+        # Hot-path aliases: read()/write() inline the cache probe and the
+        # config lookups, so hit-path accesses cost one attribute chase
+        # instead of several (the simulator spends most of its time there).
+        self._l1_sets = [c._sets for c in self.l1]
+        self._l1_mask = self.l1[0]._set_mask
+        self._l2_sets = [c._sets for c in self.l2]
+        self._l2_mask = self.l2[0]._set_mask
+        self._wb_retire = cfg.wb_retire
+        self._prefetch_data = cfg.prefetch_data
         # Per-node memory-port availability: prefetch fills occupy the port
         # and delay demand misses behind them (the "cache contention" cost
         # of section 6 of the paper).
@@ -128,13 +137,66 @@ class NumaMachine:
         (the paper's machines are 32-bit-word RISC processors; a tuple copy
         is a run of word loads), but the cache is probed once per line.
         """
-        shift = self._l1_shift
-        first = addr >> shift
-        last = (addr + size - 1) >> shift
+        stats = self.stats
+        first = addr >> self._l1_shift
+        last = (addr + size - 1) >> self._l1_shift
+        if first == last:
+            # Hot path: the access stays within one primary line.  The L1
+            # and L2 probes (and their MRU updates) are inlined from
+            # Cache.lookup, and the L1 miss bookkeeping from Cache.insert
+            # and classify_miss -- this path carries most of a simulation.
+            words = (size + 3) >> 2
+            stats.l1_reads += words if words > 1 else 1
+            l1 = self.l1[node]
+            ways = l1._sets[first & self._l1_mask]
+            if first in ways:
+                if ways[0] != first:
+                    ways.remove(first)
+                    ways.insert(0, first)
+                pending = self._pending_fill
+                if pending:
+                    fill = pending.pop((node, first), None)
+                    if fill is not None and fill > now:
+                        # Prefetch arrived late: wait out the remainder.
+                        stats.prefetch_late_cycles += fill - now
+                        return fill - now
+                return 0
+            stats.l1_read_misses[cls][
+                0 if first not in l1._seen
+                else 2 if first in l1._invalidated else 1
+            ] += 1
+            line2 = first >> self._ratio_shift
+            stats.l2_reads += 1
+            ways2 = self._l2_sets[node][line2 & self._l2_mask]
+            if line2 in ways2:
+                if ways2[0] != line2:
+                    ways2.remove(line2)
+                    ways2.insert(0, line2)
+                latency = self.lat_l2
+            else:
+                stats.l2_read_misses[cls][
+                    self.l2[node].classify_miss(line2)] += 1
+                latency = self._l2_miss_fill(node, line2)
+                if latency > self.lat_l2:
+                    # Demand fill from beyond the L2 queues behind
+                    # in-flight prefetches on this node's memory port.
+                    wait = self._port_free[node] - now
+                    if wait > 0:
+                        latency += wait
+                    self._port_free[node] = now + latency
+            # L1 fill (write-through level: replacement never writes back).
+            ways.insert(0, first)
+            l1._seen.add(first)
+            l1._invalidated.discard(first)
+            if len(ways) > l1.assoc:
+                ways.pop()
+            if self._prefetch_data and cls == DataClass.DATA:
+                self._issue_prefetches(node, first, now + latency)
+            return latency
         words = (size + 3) >> 2
         lines = last - first + 1
         if words > lines:
-            self.stats.l1_reads += words - lines
+            stats.l1_reads += words - lines
         stall = self._read_line(node, first, cls, now)
         while first < last:
             first += 1
@@ -143,9 +205,13 @@ class NumaMachine:
 
     def write(self, node, addr, size, cls, now):
         """Perform a store; return stall cycles (write-buffer overflow)."""
-        shift = self._l1_shift
-        first = addr >> shift
-        last = (addr + size - 1) >> shift
+        first = addr >> self._l1_shift
+        last = (addr + size - 1) >> self._l1_shift
+        if first == last:
+            words = (size + 3) >> 2
+            if words > 1:
+                self.stats.l1_writes += words - 1
+            return self._write_line(node, first, cls, now)
         words = (size + 3) >> 2
         lines = last - first + 1
         if words > lines:
@@ -161,22 +227,23 @@ class NumaMachine:
     def _read_line(self, node, line1, cls, now):
         stats = self.stats
         stats.l1_reads += 1
-        l1 = self.l1[node]
-        if l1.lookup(line1):
+        if self.l1[node].lookup(line1):
             pending = self._pending_fill
             if pending:
-                key = (node, line1)
-                fill = pending.get(key)
-                if fill is not None:
-                    del pending[key]
-                    if fill > now:
-                        # Prefetch arrived late: wait out the remainder.
-                        stats.prefetch_late_cycles += fill - now
-                        return fill - now
+                fill = pending.pop((node, line1), None)
+                if fill is not None and fill > now:
+                    # Prefetch arrived late: wait out the remainder.
+                    stats.prefetch_late_cycles += fill - now
+                    return fill - now
             return 0
+        return self._read_miss(node, line1, cls, now)
+
+    def _read_miss(self, node, line1, cls, now):
+        stats = self.stats
+        l1 = self.l1[node]
         stats.l1_read_misses[cls][l1.classify_miss(line1)] += 1
-        line2 = line1 >> self._ratio_shift
-        latency = self._l2_read(node, line2, cls, count=True)
+        latency = self._l2_read(node, line1 >> self._ratio_shift, cls,
+                                count=True)
         if latency > self.lat_l2:
             # Demand fill from beyond the L2 queues behind in-flight
             # prefetches on this node's memory port.
@@ -184,19 +251,27 @@ class NumaMachine:
             if wait > 0:
                 latency += wait
             self._port_free[node] = now + latency
-        self._l1_fill(node, line1)
-        if self.config.prefetch_data and cls == DataClass.DATA:
+        l1.insert(line1)
+        if self._prefetch_data and cls == DataClass.DATA:
             self._issue_prefetches(node, line1, now + latency)
         return latency
 
     def _l2_read(self, node, line2, cls, count):
         """Look up / fill ``line2`` in node's L2; return access latency."""
-        self.stats.l2_reads += 1
-        l2 = self.l2[node]
-        if l2.lookup(line2):
+        stats = self.stats
+        stats.l2_reads += 1
+        ways = self._l2_sets[node][line2 & self._l2_mask]
+        if line2 in ways:
+            if ways[0] != line2:
+                ways.remove(line2)
+                ways.insert(0, line2)
             return self.lat_l2
         if count:
-            self.stats.l2_read_misses[cls][l2.classify_miss(line2)] += 1
+            stats.l2_read_misses[cls][self.l2[node].classify_miss(line2)] += 1
+        return self._l2_miss_fill(node, line2)
+
+    def _l2_miss_fill(self, node, line2):
+        """Service an L2 read miss: directory transaction plus the fill."""
         home = self.home_fn(line2 << self._l2_shift)
         owner = self.directory.dirty_owner(line2)
         if owner is not None and owner != node:
@@ -204,24 +279,29 @@ class NumaMachine:
         else:
             latency = self.lat_local if home == node else self.lat_2hop
         self.directory.record_read(node, line2)
-        evicted = l2.insert(line2)
+        evicted = self.l2[node].insert(line2)
         if evicted is not None:
             self._evict_l2(node, evicted)
         return latency
 
     def _write_line(self, node, line1, cls, now):
-        cfg = self.config
         stats = self.stats
         stats.l1_writes += 1
         line2 = line1 >> self._ratio_shift
-        l1 = self.l1[node]
-        l2 = self.l2[node]
-        # Write-through L1: update if present, no allocation on write miss.
-        l1.lookup(line1)
+        # Write-through L1: update MRU if present, no allocation on write
+        # miss (probe inlined from Cache.lookup).
+        ways = self._l1_sets[node][line1 & self._l1_mask]
+        if line1 in ways and ways[0] != line1:
+            ways.remove(line1)
+            ways.insert(0, line1)
         directory = self.directory
-        if l2.lookup(line2):
-            if directory.dirty_owner(line2) == node:
-                retire = cfg.wb_retire
+        ways2 = self._l2_sets[node][line2 & self._l2_mask]
+        if line2 in ways2:
+            if ways2[0] != line2:
+                ways2.remove(line2)
+                ways2.insert(0, line2)
+            if directory._dirty.get(line2) == node:
+                retire = self._wb_retire
             else:
                 # Upgrade: ask the home directory, invalidate other copies.
                 home = self.home_fn(line2 << self._l2_shift)
@@ -236,10 +316,29 @@ class NumaMachine:
             else:
                 retire = self.lat_local if home == node else self.lat_2hop
             self._invalidate_others(node, line2)
-            evicted = l2.insert(line2)
+            evicted = self.l2[node].insert(line2)
             if evicted is not None:
                 self._evict_l2(node, evicted)
-        stall = self.wb[node].issue(now, retire)
+        # Write-buffer issue, inlined from WriteBuffer.issue: drain retired
+        # stores, stall if full, retire serially after the previous store.
+        wb = self.wb[node]
+        entries = wb.entries
+        while entries and entries[0] <= now:
+            entries.popleft()
+        stall = 0
+        if len(entries) >= wb.capacity:
+            # Processor waits for the oldest entry to retire.
+            oldest = entries.popleft()
+            if oldest > now:
+                stall = oldest - now
+            wb.stall_cycles += stall
+        completion = wb._last_completion
+        issue_time = now + stall
+        if issue_time > completion:
+            completion = issue_time
+        completion += retire
+        wb._last_completion = completion
+        entries.append(completion)
         return stall
 
     def _invalidate_others(self, node, line2):
@@ -256,9 +355,14 @@ class NumaMachine:
         """Handle an L2 replacement: keep L1 inclusive, tell the directory."""
         self.directory.record_eviction(node, line2)
         base = line2 << self._ratio_shift
-        l1 = self.l1[node]
-        for i in range(1 << self._ratio_shift):
-            l1.invalidate(base + i, coherence=False)
+        sets = self._l1_sets[node]
+        mask = self._l1_mask
+        # Replacement (non-coherence) invalidation, inlined from
+        # Cache.invalidate: drop the line, keep the miss history.
+        for line1 in range(base, base + (1 << self._ratio_shift)):
+            ways = sets[line1 & mask]
+            if line1 in ways:
+                ways.remove(line1)
 
     def _l1_fill(self, node, line1):
         # L1 is write-through, so replacement never writes back.

@@ -18,6 +18,7 @@ hash join, where Postgres95's cost model differed from our heuristics.
 """
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -90,8 +91,13 @@ def _rand_date(rng, lo="1993-01-01", hi="1997-01-01"):
 
 
 def query_instance(qid, seed=0):
-    """Instantiate query ``qid`` with parameters drawn from ``seed``."""
-    rng = random.Random(hash((qid, seed)) & 0xFFFFFFFF)
+    """Instantiate query ``qid`` with parameters drawn from ``seed``.
+
+    The seed is mixed with a process-independent hash (``hash()`` is
+    randomized per interpreter) so the same ``(qid, seed)`` draws the same
+    parameters in every run and in every sweep worker process.
+    """
+    rng = random.Random(zlib.crc32(f"{qid}/{seed}".encode()) & 0xFFFFFFFF)
     builder = _BUILDERS.get(qid)
     if builder is None:
         raise KeyError(f"unknown query {qid!r}")

@@ -12,6 +12,15 @@ from repro.tpcd.dbgen import build_database
 from repro.tpcd.scales import get_scale
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _release_workload_caches():
+    """Drop the memoized databases and traces when the session ends."""
+    yield
+    from repro.core.experiment import clear_caches
+
+    clear_caches()
+
+
 @pytest.fixture(scope="session")
 def tiny_db():
     """TPC-D database at the tiny test scale."""

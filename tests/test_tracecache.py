@@ -1,0 +1,143 @@
+"""Replay equivalence: recorded traces must reproduce live runs bit for bit.
+
+The trace cache's contract (see :mod:`repro.core.tracecache`) is that a
+replayed workload is indistinguishable from a live one: same execution
+time, same miss counters, same per-processor accounting, same query rows.
+The only permitted difference is ``CpuStats.events``, because record-time
+coalescing merges runs of busy/hit events without changing what they do.
+"""
+
+import pytest
+
+from repro.core import experiment
+from repro.core.experiment import (
+    clear_caches,
+    run_mixed_workload,
+    run_query_workload,
+    run_warm_workload,
+    workload_trace_cache,
+)
+from repro.core.sweep import SweepPoint, clear_variant_cache, run_sweep
+from repro.memsim.stats import MachineStats
+from repro.tpcd.queries import QUERY_IDS
+
+SCALE = "tiny"
+
+
+def machine_snapshot(stats):
+    """Every MachineStats counter, as plain data."""
+    out = {}
+    for name in MachineStats.__slots__:
+        value = getattr(stats, name)
+        if isinstance(value, list):
+            value = [list(row) if isinstance(row, list) else row
+                     for row in value]
+        out[name] = value
+    return out
+
+
+def cpu_snapshot(s):
+    # ``events`` is deliberately excluded: coalescing changes how many
+    # dispatches a busy run takes, but not its cycles or machine effects.
+    return {
+        "busy": s.busy,
+        "msync": s.msync,
+        "mem_by_class": list(s.mem_by_class),
+        "finish_time": s.finish_time,
+    }
+
+
+def assert_equivalent(live, replayed):
+    assert replayed.exec_time == live.exec_time
+    assert machine_snapshot(replayed.stats) == machine_snapshot(live.stats)
+    assert replayed.rows_per_cpu == live.rows_per_cpu
+    assert ([cpu_snapshot(s) for s in replayed.run.cpu_stats]
+            == [cpu_snapshot(s) for s in live.run.cpu_stats])
+
+
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_replay_bit_identical(qid):
+    """All 17 TPC-D queries: replay == live on every counter."""
+    live = run_query_workload(qid, scale=SCALE)
+    replayed = run_query_workload(qid, scale=SCALE, trace_cache=True)
+    assert_equivalent(live, replayed)
+
+
+def test_replay_is_deterministic():
+    """Replaying twice gives the same simulation both times."""
+    first = run_query_workload("Q6", scale=SCALE, trace_cache=True)
+    second = run_query_workload("Q6", scale=SCALE, trace_cache=True)
+    assert_equivalent(first, second)
+
+
+def test_mixed_workload_replay():
+    """Heterogeneous slots and per-slot query streams replay exactly."""
+    qids = ["Q3", ["Q6", "Q12"], "Q12", "Q6"]
+    live = run_mixed_workload(qids, scale=SCALE)
+    replayed = run_mixed_workload(qids, scale=SCALE, trace_cache=True)
+    assert_equivalent(live, replayed)
+
+
+def test_warm_workload_replay():
+    """Warm-start (Figure 12) runs replay exactly, including cache state
+    carried from the warm-up phase."""
+    live = run_warm_workload("Q6", warm_qid="Q3", scale=SCALE)
+    replayed = run_warm_workload("Q6", warm_qid="Q3", scale=SCALE,
+                                 trace_cache=True)
+    assert_equivalent(live, replayed)
+
+
+def test_trace_encoding_is_columnar_and_coalesced():
+    cache = workload_trace_cache(SCALE)
+    trace = cache.get("Q6", seed=0, node=0)
+    assert len(trace.kinds) == len(trace.a) == len(trace.b) == len(trace.c)
+    # Coalescing can only shrink the stream, never grow it.
+    assert len(trace) <= trace.n_source_events
+    assert trace.nbytes() > 0
+    assert trace.rows is not None
+    stats = cache.stats()
+    assert stats["traces"] == len(cache)
+    assert stats["events"] <= stats["source_events"]
+
+
+def test_sweep_point_summaries_match_workload():
+    point = SweepPoint(key="base", qid="Q6")
+    summary = run_sweep([point], scale=SCALE)["base"]
+    w = run_query_workload("Q6", scale=SCALE, trace_cache=True)
+    assert summary["exec_time"] == w.exec_time
+    assert summary["components"] == w.time_components()
+    assert summary["l1_grouped"] == w.stats.grouped("l1")
+
+
+def test_sweep_process_pool_matches_serial():
+    points = [
+        SweepPoint(key=("Q6", line), qid="Q6",
+                   machine={"l1_line": line // 2, "l2_line": line})
+        for line in (32, 64)
+    ]
+    serial = run_sweep(points, scale=SCALE, jobs=1)
+    # Drop the parent's point memo so jobs=2 actually spawns the pool
+    # (run_sweep answers memoized points without workers).
+    clear_variant_cache()
+    parallel = run_sweep(points, scale=SCALE, jobs=2)
+    assert parallel == serial
+
+
+def test_sweep_memoized_points_skip_the_pool():
+    """A sweep whose points are already memoized answers without workers
+    even when ``jobs>1`` (how fig9 is free right after fig8)."""
+    points = [SweepPoint(key="base", qid="Q6")]
+    first = run_sweep(points, scale=SCALE, jobs=1)
+    again = run_sweep(points, scale=SCALE, jobs=4)
+    assert again == first
+
+
+def test_clear_caches_drops_everything():
+    run_query_workload("Q6", scale=SCALE, trace_cache=True)
+    assert experiment._DB_CACHE and experiment._TRACE_CACHE
+    cache = workload_trace_cache(SCALE)
+    assert len(cache) > 0
+    clear_caches()
+    assert not experiment._DB_CACHE
+    assert not experiment._TRACE_CACHE
+    assert len(cache) == 0
