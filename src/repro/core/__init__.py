@@ -12,6 +12,8 @@ from repro.core.experiment import (
     run_mixed_workload,
     run_query_workload,
     run_warm_workload,
+    set_trace_dir,
+    trace_cache_stats,
     workload_database,
     workload_trace_cache,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "run_mixed_workload",
     "run_query_workload",
     "run_warm_workload",
+    "set_trace_dir",
+    "trace_cache_stats",
     "workload_database",
     "workload_trace_cache",
     "QueryTrace",

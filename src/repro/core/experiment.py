@@ -8,6 +8,7 @@ inter-query temporal locality experiment (Figure 12) is built.
 """
 
 from repro.core.tracecache import TraceCache
+from repro.db.shmem import shared_home_fn
 from repro.db.tracing import drain
 from repro.memsim.interleave import Interleaver
 from repro.memsim.numa import NumaMachine
@@ -17,6 +18,27 @@ from repro.tpcd.scales import get_scale
 
 _DB_CACHE = {}
 _TRACE_CACHE = {}
+
+#: Directory for the persistent trace store (``None`` disables it).  Set
+#: via :func:`set_trace_dir` (the ``repro-experiments --trace-dir`` flag);
+#: newly created shared trace caches read through to it.
+_TRACE_DIR = None
+
+
+def set_trace_dir(path):
+    """Point the shared trace caches at a persistent store directory.
+
+    Affects caches created afterwards (callers set it before running
+    experiments); ``None`` turns persistence back off.  Existing caches
+    keep the directory they were created with.
+    """
+    global _TRACE_DIR
+    _TRACE_DIR = path
+
+
+def get_trace_dir():
+    """The configured persistent trace-store directory, or ``None``."""
+    return _TRACE_DIR
 
 
 def workload_database(scale="small", seed=42):
@@ -38,12 +60,36 @@ def workload_trace_cache(scale="small", seed=42):
 
     Cached per ``(scale, seed)`` exactly like the databases: sweeps that
     vary only the machine configuration replay the same recorded streams.
+    The backing database is lazy -- a run whose traces all come from the
+    persistent store never builds it.
     """
     scale = get_scale(scale)
     key = (scale.name, seed)
     if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = TraceCache(workload_database(scale, seed), scale)
+        _TRACE_CACHE[key] = TraceCache(
+            lambda: workload_database(scale, seed), scale,
+            trace_dir=_TRACE_DIR, db_seed=seed)
     return _TRACE_CACHE[key]
+
+
+def trace_cache_stats():
+    """Aggregate :meth:`TraceCache.stats` over every live cache.
+
+    Sums the shared per-scale caches and the sweep driver's ablation
+    variants, so ``repro-experiments --time`` can report trace traffic for
+    the whole process in one line.
+    """
+    from repro.core.sweep import _VARIANT_CACHE
+
+    caches = list(_TRACE_CACHE.values())
+    caches += list(_VARIANT_CACHE.values())
+    totals = {"traces": 0, "events": 0, "source_events": 0, "bytes": 0,
+              "hits": 0, "records": 0, "loads": 0, "bytes_read": 0,
+              "bytes_written": 0}
+    for cache in caches:
+        for name, value in cache.stats().items():
+            totals[name] += value
+    return totals
 
 
 def clear_caches():
@@ -67,7 +113,10 @@ def _resolve_trace_cache(trace_cache, scale, db):
 
     ``True`` selects the shared per-scale cache (and implies its database);
     a :class:`TraceCache` instance is used as given.  Returns
-    ``(trace_cache_or_None, db)``.
+    ``(trace_cache_or_None, db_or_None)``: with a trace cache and no
+    explicit database, ``db`` stays ``None`` -- replay needs no database
+    object (NUMA placement is pure address arithmetic), and resolving one
+    here would defeat the lazy database behind a store-warmed cache.
     """
     if trace_cache is None:
         return None, db or workload_database(scale)
@@ -77,7 +126,7 @@ def _resolve_trace_cache(trace_cache, scale, db):
             trace_cache = TraceCache(db, scale)
         else:
             trace_cache = shared
-    return trace_cache, db or trace_cache.db
+    return trace_cache, db
 
 
 class WorkloadResult:
@@ -138,7 +187,7 @@ def run_query_workload(qid, scale="small", machine_config=None, n_procs=4,
     cfg = machine_config or scale.machine_config()
     if prefetch:
         cfg = cfg.replace(prefetch_data=True)
-    machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
+    machine = NumaMachine(cfg, home_fn=shared_home_fn())
     sink = {}
     if trace_cache is not None:
         streams = [
@@ -176,7 +225,7 @@ def run_mixed_workload(qids, scale="small", machine_config=None, db=None,
     scale = get_scale(scale)
     trace_cache, db = _resolve_trace_cache(trace_cache, scale, db)
     cfg = machine_config or scale.machine_config()
-    machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
+    machine = NumaMachine(cfg, home_fn=shared_home_fn())
     sink = {}
 
     if trace_cache is not None:
@@ -222,7 +271,7 @@ def run_warm_workload(measure_qid, warm_qid=None, scale="small",
     scale = get_scale(scale)
     trace_cache, db = _resolve_trace_cache(trace_cache, scale, db)
     cfg = machine_config or scale.machine_config()
-    machine = NumaMachine(cfg, home_fn=db.shmem.home_fn())
+    machine = NumaMachine(cfg, home_fn=shared_home_fn())
     interleaver = Interleaver(machine)
 
     def make_streams(qid, seed_base, sink):

@@ -7,11 +7,15 @@ workload under many machine configurations.  Live execution costs
 independent, so they also parallelize over a process pool.
 
 A sweep is a list of :class:`SweepPoint` specifications -- picklable, so
-they can be shipped to ``spawn`` workers.  Each worker process rebuilds the
-(deterministic) database and trace cache once, then iterates its assigned
-points; results come back as plain-dict summaries (:func:`summarize`), not
-live ``WorkloadResult`` objects, so nothing unpicklable crosses the
-process boundary.
+they can be shipped to ``spawn`` workers.  The parent records (or, with a
+persistent trace store configured, loads) every trace a sweep needs
+exactly once, encodes them with :mod:`repro.core.tracestore`, and ships
+the bytes to workers through the pool initializer -- so a worker never
+touches ``build_database``: it decodes its traces and replays them
+array-directly (:meth:`~repro.memsim.interleave.Interleaver.run_traces`)
+against address-arithmetic NUMA placement.  Results come back as
+plain-dict summaries (:func:`summarize`), not live ``WorkloadResult``
+objects, so nothing unpicklable crosses the process boundary.
 
 With ``jobs=1`` (the default) everything runs in-process against the
 shared per-scale caches; results are identical either way because database
@@ -23,6 +27,7 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.db.shmem import shared_home_fn
 from repro.memsim.events import CLASS_NAMES, DataClass, N_CLASSES
 from repro.memsim.interleave import Interleaver
 from repro.memsim.numa import NumaMachine
@@ -82,8 +87,8 @@ def summarize(result):
 
 # -- per-process database / trace-cache store -----------------------------------
 
-#: ``(scale_name, seed, lock_check_per_rescan) -> (db, TraceCache)``, one
-#: entry per variant per process (workers build their own copy once).
+#: ``(scale_name, seed, lock_check_per_rescan) -> TraceCache`` (with a
+#: lazily built database), one entry per variant per process.
 _VARIANT_CACHE = {}
 
 #: ``(scale_name, seed, point identity) -> summary``.  Sweep points are
@@ -93,27 +98,46 @@ _VARIANT_CACHE = {}
 #: immutable: copy before editing.
 _POINT_CACHE = {}
 
+#: Point-memo traffic counters for ``repro-experiments --time``.
+_POINT_STATS = {"hits": 0, "misses": 0}
+
+
+def point_memo_stats():
+    """Point-memo observability: hits, misses, and resident summaries."""
+    return dict(_POINT_STATS, cached=len(_POINT_CACHE))
+
 
 def _point_cache_key(point, scale, seed):
-    return (scale.name, seed, point.qid,
-            tuple(sorted(point.machine.items())), point.n_procs,
+    # Key on the *resolved* machine configuration, not the raw overrides:
+    # different sweeps reach the baseline through different knobs (figure 8
+    # overrides the line sizes, figure 10 the cache sizes), and identical
+    # resolved configurations are identical simulations.
+    cfg = scale.machine_config(**point.machine)
+    cfg_key = tuple(getattr(cfg, f) for f in cfg.__dataclass_fields__)
+    return (scale.name, seed, point.qid, cfg_key, point.n_procs,
             point.seed_base, point.arena_size, point.placement,
             point.lock_check_per_rescan)
 
 
 def _variant(scale, seed, lock_check_per_rescan):
-    from repro.core.experiment import workload_database, workload_trace_cache
+    """The :class:`TraceCache` for one engine variant (lazy database)."""
+    from repro.core.experiment import get_trace_dir, workload_trace_cache
     from repro.core.tracecache import TraceCache
     from repro.tpcd.dbgen import build_database
 
     if lock_check_per_rescan:
-        return (workload_database(scale, seed),
-                workload_trace_cache(scale, seed))
+        return workload_trace_cache(scale, seed)
     key = (scale.name, seed, lock_check_per_rescan)
     if key not in _VARIANT_CACHE:
-        db = build_database(sf=scale.sf, seed=seed)
-        db.lock_check_per_rescan = lock_check_per_rescan
-        _VARIANT_CACHE[key] = (db, TraceCache(db, scale))
+        def make_db():
+            db = build_database(sf=scale.sf, seed=seed)
+            db.lock_check_per_rescan = False
+            return db
+
+        _VARIANT_CACHE[key] = TraceCache(make_db, scale,
+                                         trace_dir=get_trace_dir(),
+                                         db_seed=seed,
+                                         lock_check_per_rescan=False)
     return _VARIANT_CACHE[key]
 
 
@@ -124,35 +148,63 @@ def clear_variant_cache():
     _POINT_CACHE.clear()
 
 
-def _home_fn(db, placement):
+def _home_fn(placement):
     if placement == "shared":
-        return db.shmem.home_fn()
+        return shared_home_fn()
     if placement == "node0":
         return lambda addr: 0
     raise ValueError(f"unknown placement {placement!r}")
 
 
+def _trace_keys(point, scale):
+    """The per-processor trace identities one sweep point replays."""
+    arena = point.arena_size or scale.arena_size
+    return [(point.lock_check_per_rescan, point.qid, point.seed_base + i,
+             i, arena)
+            for i in range(point.n_procs)]
+
+
+def _point_traces(point, scale, seed):
+    """The ``n_procs`` :class:`QueryTrace` objects for one sweep point.
+
+    In a pool worker the traces arrive pre-recorded as encoded bytes
+    (decoded lazily, once per unique trace); everywhere else -- and for
+    any trace the parent did not ship -- they come from the per-process
+    variant caches, recording or store-loading on first use.
+    """
+    keys = _trace_keys(point, scale)
+    if _SHIPPED is not None and all(k in _SHIPPED for k in keys):
+        return [_shipped_trace(k) for k in keys]
+    trace_cache = _variant(scale, seed, point.lock_check_per_rescan)
+    arena = point.arena_size or scale.arena_size
+    return [trace_cache.get(point.qid, point.seed_base + i, i,
+                            arena_size=arena)
+            for i in range(point.n_procs)]
+
+
 def run_point(point, scale, seed=42):
     """Simulate one sweep point from the per-process caches; return its
-    summary dict (memoized per point identity)."""
+    summary dict (memoized per point identity).
+
+    Replay is array-direct (:meth:`Interleaver.run_traces`): the recorded
+    columns drive the machine without generator resumptions or per-event
+    tuples, and NUMA placement comes from pure address arithmetic -- so a
+    replay-only point needs no database object at all.
+    """
     from repro.core.experiment import WorkloadResult
 
     scale = get_scale(scale)
     ckey = _point_cache_key(point, scale, seed)
     summary = _POINT_CACHE.get(ckey)
     if summary is not None:
+        _POINT_STATS["hits"] += 1
         return summary
-    db, trace_cache = _variant(scale, seed, point.lock_check_per_rescan)
+    _POINT_STATS["misses"] += 1
+    traces = _point_traces(point, scale, seed)
     cfg = scale.machine_config(**point.machine)
-    machine = NumaMachine(cfg, home_fn=_home_fn(db, point.placement))
+    machine = NumaMachine(cfg, home_fn=_home_fn(point.placement))
     sink = {}
-    arena = point.arena_size or scale.arena_size
-    streams = [
-        trace_cache.stream(point.qid, point.seed_base + i, i,
-                           arena_size=arena, sink=sink)
-        for i in range(point.n_procs)
-    ]
-    run = Interleaver(machine).run(streams)
+    run = Interleaver(machine).run_traces(traces, sink=sink)
     summary = summarize(WorkloadResult(point.qid, scale, machine, run, sink))
     _POINT_CACHE[ckey] = summary
     return summary
@@ -162,10 +214,28 @@ def run_point(point, scale, seed=42):
 
 _WORKER_ARGS = None
 
+#: Traces shipped by the sweep parent: ``trace key -> encoded bytes``
+#: (``None`` outside a pool worker), with lazily decoded instances beside
+#: them.  Keeping the bytes and decoding on demand means a worker only
+#: pays for the traces its assigned points actually replay.
+_SHIPPED = None
+_SHIPPED_DECODED = {}
 
-def _worker_init(scale, seed):
-    global _WORKER_ARGS
+
+def _shipped_trace(tkey):
+    trace = _SHIPPED_DECODED.get(tkey)
+    if trace is None:
+        from repro.core.tracestore import decode_trace
+
+        trace, _ = decode_trace(_SHIPPED[tkey])
+        _SHIPPED_DECODED[tkey] = trace
+    return trace
+
+
+def _worker_init(scale, seed, shipped=None):
+    global _WORKER_ARGS, _SHIPPED
     _WORKER_ARGS = (scale, seed)
+    _SHIPPED = shipped
 
 
 def _worker_run(point):
@@ -173,13 +243,38 @@ def _worker_run(point):
     return run_point(point, scale, seed=seed)
 
 
+def _ship_traces(todo, scale, seed):
+    """Record or load every trace ``todo`` needs; return encoded bytes.
+
+    One engine execution (or one store load) per unique trace, all in the
+    parent -- workers receive the result through the pool initializer and
+    never build a database.
+    """
+    from repro.core.tracestore import encode_trace, store_key
+
+    shipped = {}
+    for point in todo:
+        for tkey in _trace_keys(point, scale):
+            if tkey in shipped:
+                continue
+            lock_check, qid, qseed, node, arena = tkey
+            trace_cache = _variant(scale, seed, lock_check)
+            trace = trace_cache.get(qid, qseed, node, arena_size=arena)
+            skey = store_key(scale.name, seed, qid, qseed, node, arena,
+                             lock_check)
+            shipped[tkey] = encode_trace(skey, trace)
+    return shipped
+
+
 def run_sweep(points, scale="small", seed=42, jobs=1):
     """Run every sweep point; return ``{point.key: summary}`` in order.
 
     ``jobs=1`` runs in-process.  ``jobs>1`` fans the points out over a
-    ``spawn`` process pool; each worker rebuilds the database and records
-    the traces it needs exactly once, then replays its assigned points.
-    Results are independent of ``jobs``.
+    ``spawn`` process pool: the parent prepares every needed trace once
+    (recording, or loading from the persistent store when
+    ``repro-experiments --trace-dir`` configured one) and ships the
+    encoded bytes to the workers, which replay without ever running the
+    database engine.  Results are independent of ``jobs``.
     """
     points = list(points)
     scale = get_scale(scale)
@@ -189,15 +284,16 @@ def run_sweep(points, scale="small", seed=42, jobs=1):
     todo = [p for p in points
             if _point_cache_key(p, scale, seed) not in _POINT_CACHE]
     if jobs > 1 and len(todo) > 1:
+        shipped = _ship_traces(todo, scale, seed)
         ctx = multiprocessing.get_context("spawn")
         jobs = min(jobs, len(todo))
         # Contiguous chunks keep one query's config points together
-        # (sweeps are built query-major), so a worker usually records one
+        # (sweeps are built query-major), so a worker usually decodes one
         # trace set and replays its whole chunk against it.
         chunksize = max(1, len(todo) // (jobs * 2))
         with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
                                  initializer=_worker_init,
-                                 initargs=(scale, seed)) as pool:
+                                 initargs=(scale, seed, shipped)) as pool:
             summaries = list(pool.map(_worker_run, todo,
                                       chunksize=chunksize))
         # Keep the parent's memo warm so a later sweep over the same

@@ -25,9 +25,13 @@ populate ``WorkloadResult.rows_per_cpu``.
 ``experiment._DB_CACHE`` memoizes databases; use
 :func:`repro.core.experiment.workload_trace_cache` for the shared
 per-scale instance and :func:`repro.core.experiment.clear_caches` to drop
-both layers.
+both layers.  With a ``trace_dir`` the cache also reads through to the
+persistent store (:mod:`repro.core.tracestore`): a memory miss tries the
+store before recording, and every fresh recording is written back, so a
+second process or session starts warm.
 """
 
+import pickle
 from array import array
 
 from repro.memsim.events import (
@@ -65,7 +69,7 @@ class QueryTrace:
     """
 
     __slots__ = ("kinds", "a", "b", "c", "d", "e", "lock_ids", "rows",
-                 "n_source_events")
+                 "n_source_events", "_rows_nbytes", "_columns")
 
     def __init__(self):
         self.kinds = array("b")
@@ -77,15 +81,45 @@ class QueryTrace:
         self.lock_ids = []
         self.rows = None
         self.n_source_events = 0
+        self._rows_nbytes = None
+        self._columns = None
+
+    def columns(self):
+        """The six columns as plain lists, memoized.
+
+        ``array`` storage is the compact at-rest encoding; replay dispatch
+        indexes the columns millions of times, and plain lists avoid the
+        per-access int boxing ``array.__getitem__`` pays.  Sweeps replay
+        one trace against dozens of machine configurations, so the boxed
+        view is built once and kept (it is dropped with the trace itself
+        when a cache is cleared).
+        """
+        cols = self._columns
+        if cols is None:
+            cols = self._columns = (list(self.kinds), list(self.a),
+                                    list(self.b), list(self.c),
+                                    list(self.d), list(self.e))
+        return cols
 
     def __len__(self):
         return len(self.kinds)
 
     def nbytes(self):
-        """Approximate encoded size in bytes (diagnostics)."""
-        return sum(arr.itemsize * len(arr)
-                   for arr in (self.kinds, self.a, self.b, self.c,
-                               self.d, self.e))
+        """Approximate encoded size in bytes (diagnostics).
+
+        Counts everything the persistent store writes: the six columnar
+        arrays, the interned lock-id table, and the pickled result rows
+        (measured once and memoized -- pickling is also exactly what
+        :func:`repro.core.tracestore.encode_trace` does with them).
+        """
+        n = sum(arr.itemsize * len(arr)
+                for arr in (self.kinds, self.a, self.b, self.c,
+                            self.d, self.e))
+        n += sum(len(lock_id) for lock_id in self.lock_ids)
+        if self._rows_nbytes is None:
+            self._rows_nbytes = len(
+                pickle.dumps(self.rows, protocol=pickle.HIGHEST_PROTOCOL))
+        return n + self._rows_nbytes
 
     def replay(self, sink=None, node=None):
         """Generator re-emitting the recorded events as plain tuples.
@@ -193,28 +227,129 @@ class TraceCache:
     recording backend's transaction id is the deterministic per-node one a
     live workload would use), so live and replayed runs can be freely
     interleaved against the same database.
+
+    ``trace_dir`` (with ``db_seed``, the seed the database was generated
+    from) turns on read-through persistence: a miss in memory tries
+    :func:`repro.core.tracestore.load_trace` before paying for an engine
+    execution, and every fresh recording is saved back.  Damaged or
+    incompatible store files silently fall back to re-recording (and are
+    overwritten with a good copy).  The ``hits`` / ``records`` / ``loads``
+    / ``bytes_read`` / ``bytes_written`` counters make the traffic
+    observable (``repro-experiments --time`` reports them).
+
+    ``db`` may be a zero-argument callable instead of a database: it is
+    invoked on the first actual recording, so a session whose traces all
+    come from the store (or from shipped bytes) never pays for a database
+    build at all.  A lazy cache must state ``lock_check_per_rescan``
+    explicitly if its database would be non-default.
     """
 
-    def __init__(self, db, scale):
-        self.db = db
+    def __init__(self, db, scale, trace_dir=None, db_seed=None,
+                 lock_check_per_rescan=None):
+        self._db = db
         self.scale = get_scale(scale)
+        self.trace_dir = trace_dir
+        self.db_seed = db_seed
+        if lock_check_per_rescan is None:
+            lock_check_per_rescan = (True if callable(db) else
+                                     getattr(db, "lock_check_per_rescan",
+                                             True))
+        self.lock_check_per_rescan = bool(lock_check_per_rescan)
         self._traces = {}
+        self.hits = 0
+        self.records = 0
+        self.loads = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def db(self):
+        """The backing database, materialized on first use if lazy."""
+        if callable(self._db):
+            self._db = self._db()
+        return self._db
+
+    def _store_key(self, qid, seed, node, arena_size):
+        from repro.core.tracestore import store_key
+
+        return store_key(self.scale.name, self.db_seed, qid, seed, node,
+                         arena_size, self.lock_check_per_rescan)
 
     def get(self, qid, seed, node, arena_size=None):
-        """Return the trace for one query instance, recording on first use."""
+        """Return the trace for one query instance.
+
+        Resolution order: in-memory memo, then the persistent store (when
+        ``trace_dir`` is set), then a fresh recording -- which is written
+        back to the store.
+        """
         if arena_size is None:
             arena_size = self.scale.arena_size
         key = (qid, seed, node, arena_size)
         trace = self._traces.get(key)
-        if trace is None:
+        if trace is not None:
+            self.hits += 1
+            return trace
+        if self.trace_dir is not None:
+            from repro.core.tracestore import load_trace, save_trace
+
+            skey = self._store_key(qid, seed, node, arena_size)
+            loaded = load_trace(self.trace_dir, skey)
+            if loaded is not None:
+                trace, nbytes = loaded
+                self.loads += 1
+                self.bytes_read += nbytes
+                self._traces[key] = trace
+                return trace
             trace = self._record(qid, seed, node, arena_size)
-            self._traces[key] = trace
+            self.records += 1
+            self.bytes_written += save_trace(self.trace_dir, skey, trace)
+        else:
+            trace = self._record(qid, seed, node, arena_size)
+            self.records += 1
+        self._traces[key] = trace
         return trace
 
     def _record(self, qid, seed, node, arena_size):
         qi = query_instance(qid, seed=seed)
         backend = self.db.backend(node, arena_size=arena_size)
         return record(self.db.execute(qi.sql, backend, hints=qi.hints))
+
+    # -- persistence -----------------------------------------------------------
+
+    def save_to(self, directory):
+        """Write every in-memory trace to ``directory``; bytes written."""
+        from repro.core.tracestore import save_trace
+
+        written = 0
+        for (qid, seed, node, arena_size), trace in self._traces.items():
+            written += save_trace(
+                directory, self._store_key(qid, seed, node, arena_size), trace)
+        self.bytes_written += written
+        return written
+
+    def load_from(self, directory):
+        """Preload every stored trace that belongs to this cache.
+
+        Matches on the full store identity (scale, database seed, engine
+        lock-check mode); entries already in memory are kept.  Returns the
+        number of traces loaded.
+        """
+        from repro.core.tracestore import iter_traces
+
+        n = 0
+        for key, trace, nbytes in iter_traces(directory):
+            scale_name, db_seed, qid, seed, node, arena_size, lc = key
+            if (scale_name != self.scale.name or db_seed != self.db_seed
+                    or lc != self.lock_check_per_rescan):
+                continue
+            mkey = (qid, seed, node, arena_size)
+            if mkey in self._traces:
+                continue
+            self._traces[mkey] = trace
+            self.loads += 1
+            self.bytes_read += nbytes
+            n += 1
+        return n
 
     def stream(self, qid, seed, node, arena_size=None, sink=None):
         """A replay generator ready to hand to the interleaver as node's
@@ -231,11 +366,17 @@ class TraceCache:
         self._traces.clear()
 
     def stats(self):
-        """Summary of cache contents: traces, events, encoded bytes."""
+        """Summary of cache contents and traffic: traces, events, encoded
+        bytes, plus the hit/record/load counters and store byte totals."""
         return {
             "traces": len(self._traces),
             "events": sum(len(t) for t in self._traces.values()),
             "source_events": sum(t.n_source_events
                                  for t in self._traces.values()),
             "bytes": sum(t.nbytes() for t in self._traces.values()),
+            "hits": self.hits,
+            "records": self.records,
+            "loads": self.loads,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
         }

@@ -1,0 +1,239 @@
+"""Persistent trace store: recorded query traces as on-disk artifacts.
+
+A :class:`~repro.core.tracecache.QueryTrace` is expensive to produce (one
+full engine execution) and cheap to replay; the paper's own methodology
+treats the Mint trace as the reusable artifact of that asymmetry.  This
+module gives the reproduction the same property across *processes and
+sessions*: a trace encodes to one self-describing binary blob that can be
+written to a trace directory, shipped to a sweep worker, or loaded by a
+later run -- without re-touching the database engine.
+
+File format (version |version|, little-endian)::
+
+    bytes 0..3    magic  b"RPTR"
+    bytes 4..7    format version (u32)
+    bytes 8..11   header length H (u32)
+    bytes 12..    header: UTF-8 JSON, H bytes
+    rest          payload: the six columnar arrays back to back
+                  (``array.tobytes()``), then the pickled result rows
+
+The JSON header carries the identifying key ``(scale name, database seed,
+qid, query seed, node, arena size, lock_check_per_rescan)``, the typecode /
+itemsize / element count of every array (so a platform whose ``array``
+itemsizes differ is detected instead of mis-decoded), the interned lock-id
+table, and a CRC-32 of the payload.  Every anticipated failure -- missing
+file, truncation, bit flip, format-version bump, key collision, foreign
+itemsize -- surfaces as :class:`TraceStoreError`, which callers
+(:class:`~repro.core.tracecache.TraceCache`) treat as "not stored": they
+silently fall back to re-recording, so a damaged store costs time, never
+correctness.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import zlib
+from array import array
+
+MAGIC = b"RPTR"
+FORMAT_VERSION = 1
+
+_PREFIX = struct.Struct("<4sII")
+
+#: QueryTrace column attributes, in payload order.
+_COLUMNS = ("kinds", "a", "b", "c", "d", "e")
+
+SUFFIX = ".trace"
+
+
+class TraceStoreError(Exception):
+    """A stored trace is missing, damaged, or from an incompatible writer."""
+
+
+def store_key(scale_name, db_seed, qid, query_seed, node, arena_size,
+              lock_check_per_rescan):
+    """The identity under which a trace is stored.
+
+    Everything that determines the recorded event stream, and nothing
+    else: the database (scale preset + generation seed + the engine's
+    per-rescan lock revalidation switch) and the query instance (qid +
+    parameter seed + node + private-arena size).
+    """
+    return (scale_name, db_seed, qid, query_seed, node, arena_size,
+            bool(lock_check_per_rescan))
+
+
+def trace_filename(key):
+    """Deterministic file name for ``key``: readable stem + key hash."""
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:12]
+    scale_name, _, qid, query_seed, node = key[:5]
+    return f"{scale_name}-{qid}-s{query_seed}-n{node}-{digest}{SUFFIX}"
+
+
+def encode_trace(key, trace):
+    """Serialize one trace (plus its identifying ``key``) to bytes."""
+    from repro.core.tracecache import QueryTrace  # noqa: F401  (doc anchor)
+
+    rows_blob = pickle.dumps(trace.rows, protocol=pickle.HIGHEST_PROTOCOL)
+    chunks = [getattr(trace, name).tobytes() for name in _COLUMNS]
+    chunks.append(rows_blob)
+    payload = b"".join(chunks)
+    header = {
+        "key": list(key),
+        "arrays": [[name, arr.typecode, arr.itemsize, len(arr)]
+                   for name, arr in ((c, getattr(trace, c)) for c in _COLUMNS)],
+        "lock_ids": list(trace.lock_ids),
+        "n_source_events": trace.n_source_events,
+        "rows_len": len(rows_blob),
+        "payload_len": len(payload),
+        "payload_crc": zlib.crc32(payload),
+    }
+    header_blob = json.dumps(header, separators=(",", ":")).encode()
+    return _PREFIX.pack(MAGIC, FORMAT_VERSION, len(header_blob)) \
+        + header_blob + payload
+
+
+def decode_trace(data, expect_key=None):
+    """Rebuild a :class:`QueryTrace` from :func:`encode_trace` bytes.
+
+    Raises :class:`TraceStoreError` on any damage or incompatibility;
+    never returns a partially decoded trace.  ``expect_key`` additionally
+    pins the stored identity (a hash-collision / misfiled-blob guard).
+    """
+    from repro.core.tracecache import QueryTrace
+
+    if len(data) < _PREFIX.size:
+        raise TraceStoreError("blob shorter than the fixed prefix")
+    magic, version, header_len = _PREFIX.unpack_from(data)
+    if magic != MAGIC:
+        raise TraceStoreError(f"bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise TraceStoreError(
+            f"format version {version} (this writer is {FORMAT_VERSION})")
+    body = data[_PREFIX.size:]
+    if len(body) < header_len:
+        raise TraceStoreError("truncated header")
+    try:
+        header = json.loads(body[:header_len].decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceStoreError(f"undecodable header: {exc}") from None
+    try:
+        key = tuple(header["key"])
+        arrays = header["arrays"]
+        lock_ids = header["lock_ids"]
+        n_source_events = header["n_source_events"]
+        rows_len = header["rows_len"]
+        payload_len = header["payload_len"]
+        payload_crc = header["payload_crc"]
+    except (KeyError, TypeError) as exc:
+        raise TraceStoreError(f"malformed header: {exc}") from None
+    if expect_key is not None and key != tuple(expect_key):
+        raise TraceStoreError(
+            f"stored key {key!r} does not match expected {tuple(expect_key)!r}")
+    payload = body[header_len:]
+    if len(payload) != payload_len:
+        raise TraceStoreError(
+            f"payload is {len(payload)} bytes, header says {payload_len}")
+    if zlib.crc32(payload) != payload_crc:
+        raise TraceStoreError("payload checksum mismatch")
+
+    trace = QueryTrace()
+    offset = 0
+    for name, typecode, itemsize, count in arrays:
+        arr = array(typecode)
+        if arr.itemsize != itemsize:
+            raise TraceStoreError(
+                f"array {name!r}: typecode {typecode!r} is {arr.itemsize} "
+                f"bytes here but {itemsize} in the store")
+        nbytes = itemsize * count
+        arr.frombytes(payload[offset:offset + nbytes])
+        offset += nbytes
+        setattr(trace, name, arr)
+    lengths = {len(getattr(trace, name)) for name in _COLUMNS}
+    if len(lengths) != 1:
+        raise TraceStoreError("column arrays have unequal lengths")
+    try:
+        trace.rows = pickle.loads(payload[offset:offset + rows_len])
+    except Exception as exc:  # pickle raises a zoo of types on damage
+        raise TraceStoreError(f"unpicklable result rows: {exc}") from None
+    trace.lock_ids = list(lock_ids)
+    trace.n_source_events = n_source_events
+    trace._rows_nbytes = rows_len
+    return trace, key
+
+
+def stored_key(data):
+    """The identifying key of an encoded blob (header-only peek)."""
+    if len(data) < _PREFIX.size:
+        raise TraceStoreError("blob shorter than the fixed prefix")
+    magic, version, header_len = _PREFIX.unpack_from(data)
+    if magic != MAGIC:
+        raise TraceStoreError(f"bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise TraceStoreError(
+            f"format version {version} (this writer is {FORMAT_VERSION})")
+    try:
+        header = json.loads(data[_PREFIX.size:_PREFIX.size + header_len].decode())
+        return tuple(header["key"])
+    except (ValueError, UnicodeDecodeError, KeyError, TypeError) as exc:
+        raise TraceStoreError(f"undecodable header: {exc}") from None
+
+
+def save_trace(directory, key, trace):
+    """Write one trace under ``directory``; returns the bytes written.
+
+    The write is atomic (temp file + rename), so a concurrent or crashed
+    writer can leave a stale temp file but never a half-written store
+    entry.
+    """
+    os.makedirs(directory, exist_ok=True)
+    blob = encode_trace(key, trace)
+    path = os.path.join(directory, trace_filename(key))
+    tmp = path + f".tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, path)
+    return len(blob)
+
+
+def load_trace(directory, key):
+    """Load the trace stored for ``key``; ``(trace, nbytes)`` or ``None``.
+
+    Any damage -- missing file, truncation, checksum failure, version or
+    key mismatch -- returns ``None`` so callers fall back to re-recording.
+    """
+    path = os.path.join(directory, trace_filename(key))
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return None
+    try:
+        trace, _ = decode_trace(data, expect_key=key)
+    except TraceStoreError:
+        return None
+    return trace, len(data)
+
+
+def iter_traces(directory):
+    """Yield ``(key, trace, nbytes)`` for every readable stored trace.
+
+    Damaged or foreign files are skipped, not raised: a trace directory is
+    a cache, and a cache with a bad entry is just a smaller cache.
+    """
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return
+    for name in names:
+        if not name.endswith(SUFFIX):
+            continue
+        try:
+            with open(os.path.join(directory, name), "rb") as fh:
+                data = fh.read()
+            trace, key = decode_trace(data)
+        except (OSError, TraceStoreError):
+            continue
+        yield key, trace, len(data)

@@ -144,17 +144,29 @@ class SharedMemory:
         raise ValueError(f"address {addr:#x} below the shared segment")
 
     def home_fn(self):
-        """Build the NUMA page-placement function for this layout.
+        """The NUMA page-placement function for this layout.
 
-        Shared pages are distributed round-robin over the four nodes;
-        private pages live on their owner's node.
+        Placement depends only on the address-space constants, not on any
+        per-database state, so this returns the module-level
+        :func:`shared_home_fn` -- which replay-only sweep workers use
+        directly, without materializing a database.
         """
-        def home(addr):
-            if addr >= PRIVATE_BASE:
-                return ((addr - PRIVATE_BASE) // PRIVATE_STRIDE) & 3
-            return (addr >> 13) & 3
+        return shared_home_fn()
 
-        return home
+
+def shared_home_fn():
+    """The standard NUMA page-placement function.
+
+    Shared pages are distributed round-robin over the four nodes; private
+    pages live on their owner's node.  The mapping is pure address
+    arithmetic over the fixed layout constants.
+    """
+    def home(addr):
+        if addr >= PRIVATE_BASE:
+            return ((addr - PRIVATE_BASE) // PRIVATE_STRIDE) & 3
+        return (addr >> 13) & 3
+
+    return home
 
 
 class PrivateMemory:

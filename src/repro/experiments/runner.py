@@ -7,6 +7,8 @@ Usage::
     repro-experiments all --scale paper     # the full 1/100 TPC-D sizing
     REPRO_SCALE=paper repro-experiments all # same, via the environment
     repro-experiments fig8 fig9 --jobs 4    # sweeps on a 4-worker pool
+    repro-experiments fig8 --trace-dir ~/.cache/repro-traces
+                                            # record once, load forever
 """
 
 import argparse
@@ -14,6 +16,13 @@ import inspect
 import os
 import sys
 import time
+
+
+def _fmt_bytes(n):
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
 
 
 def main(argv=None):
@@ -31,11 +40,21 @@ def main(argv=None):
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for sweep-based experiments "
                              "(default: 1, run in-process)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="persistent trace store: record query traces "
+                             "there on first run, load them on later runs "
+                             "(damaged entries silently re-record)")
     parser.add_argument("--time", action="store_true", dest="show_time",
-                        help="print a wall-clock summary after the reports")
+                        help="print wall-clock and cache-traffic summaries "
+                             "after the reports")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     args = parser.parse_args(argv)
+
+    if args.trace_dir:
+        from repro.core.experiment import set_trace_dir
+
+        set_trace_dir(args.trace_dir)
 
     if args.list or not args.experiments:
         print("Available experiments:")
@@ -65,11 +84,24 @@ def main(argv=None):
         print(mod.report(results))
 
     if args.show_time:
+        from repro.core.experiment import trace_cache_stats
+        from repro.core.sweep import point_memo_stats
+
         print(f"\n{'=' * 72}\nTimings  (scale={args.scale}, jobs={args.jobs})"
               f"\n{'=' * 72}")
         for name, elapsed in timings:
             print(f"  {name:8s} {elapsed:8.2f}s")
         print(f"  {'total':8s} {sum(t for _, t in timings):8.2f}s")
+        tc = trace_cache_stats()
+        pm = point_memo_stats()
+        print(f"  trace cache  hits={tc['hits']} records={tc['records']} "
+              f"loads={tc['loads']} traces={tc['traces']} "
+              f"({_fmt_bytes(tc['bytes'])})")
+        print(f"  trace store  read={_fmt_bytes(tc['bytes_read'])} "
+              f"written={_fmt_bytes(tc['bytes_written'])}"
+              + (f"  dir={args.trace_dir}" if args.trace_dir else ""))
+        print(f"  point memo   hits={pm['hits']} misses={pm['misses']} "
+              f"cached={pm['cached']}")
     return 0
 
 

@@ -90,7 +90,9 @@ class Interleaver:
         mstats = machine.stats
         drain_time = machine.drain_time
         exhausted = _EXHAUSTED
-        INF = float("inf")
+        # Int sentinel (not float inf): every per-event "now >= limit"
+        # check stays an int-int comparison.
+        INF = 1 << 62
 
         while alive:
             # Pick the earliest processor (``alive`` stays sorted, so ties
@@ -241,5 +243,231 @@ class Interleaver:
                 if now >= limit:
                     clocks[cpu] = now
                     break
+
+        return RunResult(machine, cpu_stats)
+
+    def run_traces(self, traces, sink=None, reset_stats=False):
+        """Replay recorded traces array-directly: no generators, no tuples.
+
+        ``traces`` holds one :class:`~repro.core.tracecache.QueryTrace` per
+        processor (trace *i* runs on node *i*).  Instead of resuming a
+        ``replay()`` generator and unpacking an event tuple per step, each
+        processor keeps an index cursor into its trace's columnar arrays
+        and events dispatch straight from the columns -- the replay
+        equivalent of :meth:`run`, and bit-identical to it on replay
+        streams: same cycles, same machine counters, same per-CPU
+        accounting (``tests/test_tracecache.py`` asserts this for all 17
+        queries).  A contended lock acquire retries by *not* advancing the
+        cursor, mirroring the ``pending``-slot redispatch of :meth:`run`.
+
+        When ``sink`` is given, ``sink[i]`` is set to trace *i*'s recorded
+        result rows as its stream completes, like ``replay(sink=...)``.
+        """
+        machine = self.machine
+        if len(traces) > machine.config.n_nodes:
+            raise ValueError(
+                f"{len(traces)} traces but only {machine.config.n_nodes} nodes"
+            )
+        if reset_stats:
+            machine.reset_stats()
+
+        n = len(traces)
+        clocks = [0] * n
+        cpu_stats = [CpuStats() for _ in range(n)]
+        cursors = [0] * n
+        ends = [len(t) for t in traces]
+        # Plain-list column views (memoized on each trace): lists index
+        # noticeably faster than ``array`` objects because they skip the
+        # per-access int boxing, and a sweep replays the same trace dozens
+        # of times, so the conversion is paid once per trace, not per run.
+        columns = [t.columns() for t in traces]
+        kinds_col = [c[0] for c in columns]
+        a_col = [c[1] for c in columns]
+        b_col = [c[2] for c in columns]
+        c_col = [c[3] for c in columns]
+        d_col = [c[4] for c in columns]
+        e_col = [c[5] for c in columns]
+        lock_tables = [t.lock_ids for t in traces]
+        alive = list(range(n))
+        lock_holder = {}
+        spin_interval = self.spin_interval
+        mread = machine.read
+        mwrite = machine.write
+        mstats = machine.stats
+        drain_time = machine.drain_time
+        # Fused L1 read-hit fast path: a single-line load that hits the
+        # primary cache touches nothing but the L1 set and the read
+        # counter, so the dispatch loop probes it inline and only calls
+        # machine.read for misses and line-crossing accesses.  Disabled
+        # when prefetching is on -- then even a hit must check the
+        # pending-fill table, which stays machine.read's job.
+        l1_shift = machine._l1_shift
+        l1_mask = machine._l1_mask
+        l1_sets = machine._l1_sets
+        fuse_hits = not machine._prefetch_data
+        # Int sentinel (not float inf): every per-event "now >= limit"
+        # check stays an int-int comparison.
+        INF = 1 << 62
+
+        while alive:
+            # Identical argmin/limit selection to :meth:`run`: the chosen
+            # processor dispatches in a tight loop while it stays strictly
+            # the earliest clock.
+            k = len(alive)
+            if k == 1:
+                cpu = alive[0]
+                limit = INF
+            elif k == 2:
+                c0, c1 = alive
+                if clocks[c0] <= clocks[c1]:
+                    cpu, limit = c0, clocks[c1]
+                else:
+                    cpu, limit = c1, clocks[c0]
+            else:
+                ait = iter(alive)
+                cpu = next(ait)
+                best = clocks[cpu]
+                limit = INF
+                for i in ait:
+                    ci = clocks[i]
+                    if ci < best:
+                        cpu, limit, best = i, best, ci
+                    elif ci < limit:
+                        limit = ci
+
+            tk = kinds_col[cpu]
+            ta = a_col[cpu]
+            tb = b_col[cpu]
+            tc = c_col[cpu]
+            td = d_col[cpu]
+            te = e_col[cpu]
+            lock_ids = lock_tables[cpu]
+            cpu_l1 = l1_sets[cpu]
+            pos = cursors[cpu]
+            end = ends[cpu]
+            stats = cpu_stats[cpu]
+            mem_by_class = stats.mem_by_class
+            now = clocks[cpu]
+            # Stats deltas accumulate in locals and flush when the
+            # dispatch run ends; nothing inside the run reads them.
+            # Dispatched events are the cursor advance plus lock retries
+            # (the only dispatch that leaves the cursor in place), so the
+            # loop body never counts them one by one.
+            start_pos = pos
+            retry_acc = busy_acc = msync_acc = l1_acc = 0
+
+            while True:
+                if pos >= end:
+                    alive.remove(cpu)
+                    now = drain_time(cpu, now)
+                    clocks[cpu] = now
+                    stats.finish_time = now
+                    if sink is not None:
+                        sink[cpu] = traces[cpu].rows
+                    break
+
+                kind = tk[pos]
+
+                if kind == 0:  # EV_READ (+ fused trailing busy/hit run)
+                    addr = ta[pos]
+                    size = tb[pos]
+                    stall = -1
+                    if fuse_hits:
+                        first = addr >> l1_shift
+                        if first == (addr + size - 1) >> l1_shift:
+                            ways = cpu_l1[first & l1_mask]
+                            if first in ways:
+                                if ways[0] != first:
+                                    ways.remove(first)
+                                    ways.insert(0, first)
+                                l1_acc += 1 if size <= 4 else (size + 3) >> 2
+                                stall = 0
+                    if stall < 0:
+                        stall = mread(cpu, addr, size, tc[pos], now)
+                        if stall:
+                            mem_by_class[tc[pos]] += stall
+                    inert = td[pos]
+                    busy_acc += 1 + inert
+                    now += 1 + stall + inert
+                    l1_acc += te[pos]
+                    pos += 1
+                elif kind == 1:  # EV_WRITE (+ fused trailing busy/hit run)
+                    cls = tc[pos]
+                    stall = mwrite(cpu, ta[pos], tb[pos], cls, now)
+                    inert = td[pos]
+                    busy_acc += 1 + inert
+                    if stall:
+                        mem_by_class[cls] += stall
+                        now += 1 + stall + inert
+                    else:
+                        now += 1 + inert
+                    l1_acc += te[pos]
+                    pos += 1
+                elif kind == 2:  # EV_BUSY (already coalesced at record time)
+                    cycles = ta[pos]
+                    busy_acc += cycles
+                    now += cycles
+                    pos += 1
+                elif kind == 5:  # EV_HIT: always-hit stack/static references
+                    count = ta[pos]
+                    busy_acc += count
+                    l1_acc += count
+                    now += count
+                    pos += 1
+                elif kind == 3:  # EV_LOCK_ACQ
+                    lock_id = lock_ids[ta[pos]]
+                    addr = tb[pos]
+                    cls = tc[pos]
+                    holder = lock_holder.get(lock_id)
+                    if holder == cpu:
+                        raise LockProtocolError(
+                            f"cpu {cpu} re-acquired spinlock {lock_id!r}"
+                        )
+                    if holder is None:
+                        cost = 2
+                        cost += mread(cpu, addr, 4, cls, now)
+                        cost += mwrite(cpu, addr, 4, cls, now + cost)
+                        msync_acc += cost
+                        now += cost
+                        lock_holder[lock_id] = cpu
+                        pos += 1
+                    else:
+                        # Spin and retry: the cursor stays on this event,
+                        # so the next dispatch re-attempts the acquire --
+                        # and the new clock is never below the holder's,
+                        # so the retry always rescans first.
+                        wait = spin_interval
+                        holder_clock = clocks[holder]
+                        if holder_clock > now + wait:
+                            wait = holder_clock - now
+                        wait += mread(cpu, addr, 4, cls, now)
+                        msync_acc += wait
+                        now += wait
+                        retry_acc += 1
+                else:  # EV_LOCK_REL (kind == 4)
+                    lock_id = lock_ids[ta[pos]]
+                    addr = tb[pos]
+                    cls = tc[pos]
+                    if lock_holder.get(lock_id) != cpu:
+                        raise LockProtocolError(
+                            f"cpu {cpu} released spinlock {lock_id!r} "
+                            "it does not hold"
+                        )
+                    del lock_holder[lock_id]
+                    cost = 1 + mwrite(cpu, addr, 4, cls, now)
+                    msync_acc += cost
+                    now += cost
+                    pos += 1
+
+                if now >= limit:
+                    clocks[cpu] = now
+                    cursors[cpu] = pos
+                    break
+
+            stats.events += (pos - start_pos) + retry_acc
+            stats.busy += busy_acc
+            stats.msync += msync_acc
+            if l1_acc:
+                mstats.l1_reads += l1_acc
 
         return RunResult(machine, cpu_stats)

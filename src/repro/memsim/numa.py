@@ -138,17 +138,16 @@ class NumaMachine:
         is a run of word loads), but the cache is probed once per line.
         """
         stats = self.stats
-        first = addr >> self._l1_shift
-        last = (addr + size - 1) >> self._l1_shift
+        shift = self._l1_shift
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
         if first == last:
             # Hot path: the access stays within one primary line.  The L1
             # and L2 probes (and their MRU updates) are inlined from
             # Cache.lookup, and the L1 miss bookkeeping from Cache.insert
             # and classify_miss -- this path carries most of a simulation.
-            words = (size + 3) >> 2
-            stats.l1_reads += words if words > 1 else 1
-            l1 = self.l1[node]
-            ways = l1._sets[first & self._l1_mask]
+            stats.l1_reads += 1 if size <= 4 else (size + 3) >> 2
+            ways = self._l1_sets[node][first & self._l1_mask]
             if first in ways:
                 if ways[0] != first:
                     ways.remove(first)
@@ -161,6 +160,7 @@ class NumaMachine:
                         stats.prefetch_late_cycles += fill - now
                         return fill - now
                 return 0
+            l1 = self.l1[node]
             stats.l1_read_misses[cls][
                 0 if first not in l1._seen
                 else 2 if first in l1._invalidated else 1
@@ -197,29 +197,86 @@ class NumaMachine:
         lines = last - first + 1
         if words > lines:
             stats.l1_reads += words - lines
-        stall = self._read_line(node, first, cls, now)
+        read_line = self._read_line
+        stall = read_line(node, first, cls, now)
         while first < last:
             first += 1
-            stall += self._read_line(node, first, cls, now + stall)
+            stall += read_line(node, first, cls, now + stall)
         return stall
 
     def write(self, node, addr, size, cls, now):
         """Perform a store; return stall cycles (write-buffer overflow)."""
-        first = addr >> self._l1_shift
-        last = (addr + size - 1) >> self._l1_shift
+        shift = self._l1_shift
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
         if first == last:
-            words = (size + 3) >> 2
-            if words > 1:
-                self.stats.l1_writes += words - 1
-            return self._write_line(node, first, cls, now)
+            # Hot path: the store stays within one primary line.  The body
+            # of _write_line is inlined here (like the read() hot path) --
+            # stores are the second most frequent machine call on replay.
+            stats = self.stats
+            stats.l1_writes += 1 if size <= 4 else (size + 3) >> 2
+            line2 = first >> self._ratio_shift
+            ways = self._l1_sets[node][first & self._l1_mask]
+            if first in ways and ways[0] != first:
+                ways.remove(first)
+                ways.insert(0, first)
+            directory = self.directory
+            ways2 = self._l2_sets[node][line2 & self._l2_mask]
+            if line2 in ways2:
+                if ways2[0] != line2:
+                    ways2.remove(line2)
+                    ways2.insert(0, line2)
+                if directory._dirty.get(line2) == node:
+                    retire = self._wb_retire
+                else:
+                    # Upgrade: ask the home directory, invalidate others.
+                    home = self.home_fn(line2 << self._l2_shift)
+                    retire = self.lat_local if home == node else self.lat_2hop
+                    self._invalidate_others(node, line2)
+            else:
+                stats.l2_write_misses += 1
+                home = self.home_fn(line2 << self._l2_shift)
+                owner = directory._dirty.get(line2)
+                if owner is not None and owner != node:
+                    retire = self.lat_2hop if home == node else self.lat_3hop
+                else:
+                    retire = self.lat_local if home == node else self.lat_2hop
+                self._invalidate_others(node, line2)
+                # L2 fill, inlined from Cache.insert (probe above missed).
+                l2 = self.l2[node]
+                ways2.insert(0, line2)
+                l2._seen.add(line2)
+                l2._invalidated.discard(line2)
+                if len(ways2) > l2.assoc:
+                    self._evict_l2(node, ways2.pop())
+            # Write-buffer issue (inlined from WriteBuffer.issue).
+            wb = self.wb[node]
+            entries = wb.entries
+            while entries and entries[0] <= now:
+                entries.popleft()
+            stall = 0
+            if len(entries) >= wb.capacity:
+                oldest = entries.popleft()
+                if oldest > now:
+                    stall = oldest - now
+                wb.stall_cycles += stall
+            completion = wb._last_completion
+            issue_time = now + stall
+            if issue_time > completion:
+                completion = issue_time
+            completion += retire
+            wb._last_completion = completion
+            entries.append(completion)
+            return stall
         words = (size + 3) >> 2
         lines = last - first + 1
         if words > lines:
             self.stats.l1_writes += words - lines
-        stall = self._write_line(node, first, cls, now)
+        write_line = self._write_line
+        stall = write_line(node, first, cls, now)
         while first < last:
             first += 1
-            stall += self._write_line(node, first, cls, now + stall)
+            stall += write_line(node, first, cls, now + stall)
         return stall
 
     # -- internals -----------------------------------------------------------
@@ -227,7 +284,13 @@ class NumaMachine:
     def _read_line(self, node, line1, cls, now):
         stats = self.stats
         stats.l1_reads += 1
-        if self.l1[node].lookup(line1):
+        # L1 probe inlined from Cache.lookup (multi-line accesses land here
+        # once per primary line, so this path is hot under small lines).
+        ways = self._l1_sets[node][line1 & self._l1_mask]
+        if line1 in ways:
+            if ways[0] != line1:
+                ways.remove(line1)
+                ways.insert(0, line1)
             pending = self._pending_fill
             if pending:
                 fill = pending.pop((node, line1), None)
@@ -239,19 +302,39 @@ class NumaMachine:
         return self._read_miss(node, line1, cls, now)
 
     def _read_miss(self, node, line1, cls, now):
+        # Same inlining as the read() hot path (Cache.lookup/insert and
+        # classify_miss): multi-line accesses miss here once per line, and
+        # small-line configurations make that the dominant miss path.
         stats = self.stats
         l1 = self.l1[node]
-        stats.l1_read_misses[cls][l1.classify_miss(line1)] += 1
-        latency = self._l2_read(node, line1 >> self._ratio_shift, cls,
-                                count=True)
-        if latency > self.lat_l2:
-            # Demand fill from beyond the L2 queues behind in-flight
-            # prefetches on this node's memory port.
-            wait = self._port_free[node] - now
-            if wait > 0:
-                latency += wait
-            self._port_free[node] = now + latency
-        l1.insert(line1)
+        stats.l1_read_misses[cls][
+            0 if line1 not in l1._seen
+            else 2 if line1 in l1._invalidated else 1
+        ] += 1
+        line2 = line1 >> self._ratio_shift
+        stats.l2_reads += 1
+        ways2 = self._l2_sets[node][line2 & self._l2_mask]
+        if line2 in ways2:
+            if ways2[0] != line2:
+                ways2.remove(line2)
+                ways2.insert(0, line2)
+            latency = self.lat_l2
+        else:
+            stats.l2_read_misses[cls][self.l2[node].classify_miss(line2)] += 1
+            latency = self._l2_miss_fill(node, line2)
+            if latency > self.lat_l2:
+                # Demand fill from beyond the L2 queues behind in-flight
+                # prefetches on this node's memory port.
+                wait = self._port_free[node] - now
+                if wait > 0:
+                    latency += wait
+                self._port_free[node] = now + latency
+        ways = l1._sets[line1 & self._l1_mask]
+        ways.insert(0, line1)
+        l1._seen.add(line1)
+        l1._invalidated.discard(line1)
+        if len(ways) > l1.assoc:
+            ways.pop()
         if self._prefetch_data and cls == DataClass.DATA:
             self._issue_prefetches(node, line1, now + latency)
         return latency
@@ -272,16 +355,27 @@ class NumaMachine:
 
     def _l2_miss_fill(self, node, line2):
         """Service an L2 read miss: directory transaction plus the fill."""
+        directory = self.directory
         home = self.home_fn(line2 << self._l2_shift)
-        owner = self.directory.dirty_owner(line2)
+        owner = directory._dirty.get(line2)
         if owner is not None and owner != node:
             latency = self.lat_2hop if home == node else self.lat_3hop
         else:
             latency = self.lat_local if home == node else self.lat_2hop
-        self.directory.record_read(node, line2)
-        evicted = self.l2[node].insert(line2)
-        if evicted is not None:
-            self._evict_l2(node, evicted)
+        # Directory read fill, inlined from Directory.record_read.
+        if owner is not None and owner != node:
+            del directory._dirty[line2]
+        holders = directory._sharers.setdefault(line2, set())
+        holders.add(node)
+        # L2 fill, inlined from Cache.insert: every caller probed the set
+        # already, so the line is known to be absent.
+        l2 = self.l2[node]
+        ways2 = self._l2_sets[node][line2 & self._l2_mask]
+        ways2.insert(0, line2)
+        l2._seen.add(line2)
+        l2._invalidated.discard(line2)
+        if len(ways2) > l2.assoc:
+            self._evict_l2(node, ways2.pop())
         return latency
 
     def _write_line(self, node, line1, cls, now):
@@ -310,15 +404,19 @@ class NumaMachine:
         else:
             stats.l2_write_misses += 1
             home = self.home_fn(line2 << self._l2_shift)
-            owner = directory.dirty_owner(line2)
+            owner = directory._dirty.get(line2)
             if owner is not None and owner != node:
                 retire = self.lat_2hop if home == node else self.lat_3hop
             else:
                 retire = self.lat_local if home == node else self.lat_2hop
             self._invalidate_others(node, line2)
-            evicted = self.l2[node].insert(line2)
-            if evicted is not None:
-                self._evict_l2(node, evicted)
+            # L2 fill, inlined from Cache.insert (probe above missed).
+            l2 = self.l2[node]
+            ways2.insert(0, line2)
+            l2._seen.add(line2)
+            l2._invalidated.discard(line2)
+            if len(ways2) > l2.assoc:
+                self._evict_l2(node, ways2.pop())
         # Write-buffer issue, inlined from WriteBuffer.issue: drain retired
         # stores, stall if full, retire serially after the previous store.
         wb = self.wb[node]
@@ -342,7 +440,20 @@ class NumaMachine:
         return stall
 
     def _invalidate_others(self, node, line2):
-        victims = self.directory.record_write(node, line2)
+        # Directory write, inlined from Directory.record_write, with a fast
+        # path for the common no-other-sharer case (no victims to visit).
+        directory = self.directory
+        holders = directory._sharers.get(line2)
+        if holders is None:
+            directory._sharers[line2] = {node}
+            directory._dirty[line2] = node
+            return
+        victims = [n for n in holders if n != node]
+        holders.clear()
+        holders.add(node)
+        directory._dirty[line2] = node
+        if not victims:
+            return
         ratio = 1 << self._ratio_shift
         base = line2 << self._ratio_shift
         for victim in victims:
@@ -353,7 +464,15 @@ class NumaMachine:
 
     def _evict_l2(self, node, line2):
         """Handle an L2 replacement: keep L1 inclusive, tell the directory."""
-        self.directory.record_eviction(node, line2)
+        # Inlined from Directory.record_eviction.
+        directory = self.directory
+        holders = directory._sharers.get(line2)
+        if holders is not None:
+            holders.discard(node)
+            if not holders:
+                del directory._sharers[line2]
+        if directory._dirty.get(line2) == node:
+            del directory._dirty[line2]
         base = line2 << self._ratio_shift
         sets = self._l1_sets[node]
         mask = self._l1_mask

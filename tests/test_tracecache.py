@@ -18,8 +18,12 @@ from repro.core.experiment import (
     workload_trace_cache,
 )
 from repro.core.sweep import SweepPoint, clear_variant_cache, run_sweep
+from repro.db.shmem import shared_home_fn
+from repro.memsim.interleave import Interleaver
+from repro.memsim.numa import NumaMachine
 from repro.memsim.stats import MachineStats
 from repro.tpcd.queries import QUERY_IDS
+from repro.tpcd.scales import get_scale
 
 SCALE = "tiny"
 
@@ -85,6 +89,57 @@ def test_warm_workload_replay():
     replayed = run_warm_workload("Q6", warm_qid="Q3", scale=SCALE,
                                  trace_cache=True)
     assert_equivalent(live, replayed)
+
+
+def _run_both_replays(qid, config):
+    """Generator replay and array-direct replay of the same traces."""
+    scale = get_scale(SCALE)
+    cache = workload_trace_cache(SCALE)
+    traces = [cache.get(qid, i, i, arena_size=scale.arena_size)
+              for i in range(4)]
+
+    gen_machine = NumaMachine(config, home_fn=shared_home_fn())
+    gen_sink = {}
+    gen_run = Interleaver(gen_machine).run(
+        [cache.stream(qid, i, i, arena_size=scale.arena_size, sink=gen_sink)
+         for i in range(4)])
+
+    arr_machine = NumaMachine(config, home_fn=shared_home_fn())
+    arr_sink = {}
+    arr_run = Interleaver(arr_machine).run_traces(traces, sink=arr_sink)
+    return (gen_machine, gen_run, gen_sink), (arr_machine, arr_run, arr_sink)
+
+
+def assert_runs_identical(gen, arr):
+    (gen_machine, gen_run, gen_sink) = gen
+    (arr_machine, arr_run, arr_sink) = arr
+    assert arr_run.exec_time == gen_run.exec_time
+    assert (machine_snapshot(arr_machine.stats)
+            == machine_snapshot(gen_machine.stats))
+    assert arr_sink == gen_sink
+    # Replay streams are already coalesced, so even ``events`` matches.
+    assert ([dict(cpu_snapshot(s), events=s.events)
+             for s in arr_run.cpu_stats]
+            == [dict(cpu_snapshot(s), events=s.events)
+                for s in gen_run.cpu_stats])
+
+
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_array_direct_replay_matches_generator(qid):
+    """All 17 queries: ``run_traces`` is bit-identical to generator
+    replay -- every machine counter, per-CPU stat, and result row."""
+    gen, arr = _run_both_replays(qid, get_scale(SCALE).machine_config())
+    assert_runs_identical(gen, arr)
+
+
+@pytest.mark.parametrize("config_kwargs", [
+    {"l1_line": 8, "l2_line": 16},      # line-crossing accesses everywhere
+    {"prefetch_data": True},            # hit fusion disabled in run_traces
+])
+def test_array_direct_replay_matches_generator_variants(config_kwargs):
+    gen, arr = _run_both_replays(
+        "Q6", get_scale(SCALE).machine_config(**config_kwargs))
+    assert_runs_identical(gen, arr)
 
 
 def test_trace_encoding_is_columnar_and_coalesced():

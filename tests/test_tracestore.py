@@ -1,0 +1,198 @@
+"""Persistent trace store: round trips, damage detection, fallback.
+
+The store's contract (see :mod:`repro.core.tracestore`) is that a loaded
+trace is indistinguishable from the recording it came from, and that any
+damaged or incompatible entry behaves as "not stored": the cache re-records
+instead of ever replaying corrupt data.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.experiment import workload_trace_cache
+from repro.core.tracecache import TraceCache
+from repro.core.tracestore import (
+    FORMAT_VERSION,
+    MAGIC,
+    TraceStoreError,
+    decode_trace,
+    encode_trace,
+    iter_traces,
+    load_trace,
+    save_trace,
+    store_key,
+    stored_key,
+    trace_filename,
+)
+from repro.tpcd.queries import QUERY_IDS
+from repro.tpcd.scales import get_scale
+
+SCALE = "tiny"
+
+_COLUMNS = ("kinds", "a", "b", "c", "d", "e")
+
+
+def _key(qid, seed=0, node=0):
+    scale = get_scale(SCALE)
+    return store_key(scale.name, 42, qid, seed, node, scale.arena_size, True)
+
+
+def _trace(qid, seed=0, node=0):
+    return workload_trace_cache(SCALE).get(qid, seed, node)
+
+
+def assert_traces_equal(decoded, original):
+    for name in _COLUMNS:
+        assert getattr(decoded, name) == getattr(original, name), name
+    assert decoded.lock_ids == original.lock_ids
+    assert decoded.rows == original.rows
+    assert decoded.n_source_events == original.n_source_events
+
+
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_round_trip_all_queries(qid):
+    """All 17 TPC-D queries: encode -> decode reproduces every column,
+    the lock table, and the result rows."""
+    trace = _trace(qid)
+    key = _key(qid)
+    decoded, decoded_key = decode_trace(encode_trace(key, trace))
+    assert decoded_key == key
+    assert_traces_equal(decoded, trace)
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = _trace("Q6")
+    key = _key("Q6")
+    written = save_trace(tmp_path, key, trace)
+    assert written > 0
+    loaded, nbytes = load_trace(tmp_path, key)
+    assert nbytes == written
+    assert_traces_equal(loaded, trace)
+
+
+def test_stored_key_peek_and_filename():
+    trace = _trace("Q6")
+    key = _key("Q6")
+    assert stored_key(encode_trace(key, trace)) == key
+    name = trace_filename(key)
+    assert name.endswith(".trace")
+    assert "Q6" in name
+
+
+def test_wrong_key_is_rejected():
+    blob = encode_trace(_key("Q6"), _trace("Q6"))
+    with pytest.raises(TraceStoreError):
+        decode_trace(blob, expect_key=_key("Q6", seed=1))
+
+
+def test_truncated_blob_is_rejected():
+    blob = encode_trace(_key("Q6"), _trace("Q6"))
+    for cut in (3, 10, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(TraceStoreError):
+            decode_trace(blob[:cut])
+
+
+def test_flipped_byte_is_rejected():
+    blob = bytearray(encode_trace(_key("Q6"), _trace("Q6")))
+    blob[len(blob) // 2] ^= 0x40
+    with pytest.raises(TraceStoreError):
+        decode_trace(bytes(blob))
+
+
+def test_version_bump_is_rejected():
+    blob = bytearray(encode_trace(_key("Q6"), _trace("Q6")))
+    struct.pack_into("<I", blob, 4, FORMAT_VERSION + 1)
+    with pytest.raises(TraceStoreError):
+        decode_trace(bytes(blob))
+    assert blob[:4] == MAGIC
+
+
+def _fresh_cache(trace_dir):
+    """A read-through cache over the shared tiny database (own memo)."""
+    shared = workload_trace_cache(SCALE)
+    return TraceCache(shared.db, SCALE, trace_dir=str(trace_dir), db_seed=42)
+
+
+def test_read_through_loads_instead_of_recording(tmp_path):
+    first = _fresh_cache(tmp_path)
+    trace = first.get("Q6", 0, 0)
+    assert first.records == 1 and first.loads == 0
+    assert first.bytes_written > 0
+
+    second = _fresh_cache(tmp_path)
+    loaded = second.get("Q6", 0, 0)
+    assert second.records == 0 and second.loads == 1
+    assert second.bytes_read > 0
+    assert_traces_equal(loaded, trace)
+
+
+@pytest.mark.parametrize("damage", ["truncate", "flip", "version"])
+def test_damaged_store_entry_falls_back_to_recording(tmp_path, damage):
+    """A truncated, bit-flipped, or version-bumped file re-records cleanly."""
+    first = _fresh_cache(tmp_path)
+    trace = first.get("Q6", 0, 0)
+
+    path = tmp_path / trace_filename(_key("Q6"))
+    blob = bytearray(path.read_bytes())
+    if damage == "truncate":
+        blob = blob[:len(blob) // 3]
+    elif damage == "flip":
+        blob[len(blob) - 7] ^= 0x01
+    else:
+        struct.pack_into("<I", blob, 4, FORMAT_VERSION + 1)
+    path.write_bytes(bytes(blob))
+
+    second = _fresh_cache(tmp_path)
+    recorded = second.get("Q6", 0, 0)
+    assert second.records == 1 and second.loads == 0
+    assert_traces_equal(recorded, trace)
+    # The re-recording overwrote the damaged entry with a good copy.
+    third = _fresh_cache(tmp_path)
+    third.get("Q6", 0, 0)
+    assert third.loads == 1 and third.records == 0
+
+
+def test_iter_traces_skips_damaged_and_foreign_files(tmp_path):
+    cache = _fresh_cache(tmp_path)
+    cache.get("Q6", 0, 0)
+    cache.get("Q6", 1, 1)
+    (tmp_path / "notes.txt").write_text("not a trace")
+    (tmp_path / "broken.trace").write_bytes(b"RPTRgarbage")
+    found = {key for key, _, _ in iter_traces(tmp_path)}
+    assert found == {_key("Q6", 0, 0), _key("Q6", 1, 1)}
+
+
+def test_save_to_and_load_from(tmp_path):
+    shared = workload_trace_cache(SCALE)
+    source = TraceCache(shared.db, SCALE, db_seed=42)
+    source.get("Q6", 0, 0)
+    source.get("Q12", 0, 0)
+    assert source.save_to(str(tmp_path)) > 0
+
+    dest = TraceCache(shared.db, SCALE, db_seed=42)
+    assert dest.load_from(str(tmp_path)) == 2
+    assert len(dest) == 2
+    # A cache for a different database seed matches nothing.
+    other = TraceCache(shared.db, SCALE, db_seed=7)
+    assert other.load_from(str(tmp_path)) == 0
+
+
+def test_lazy_database_stays_unbuilt_on_warm_store(tmp_path):
+    """A store-warmed cache never materializes its database."""
+    seed_cache = _fresh_cache(tmp_path)
+    seed_cache.get("Q6", 0, 0)
+
+    calls = []
+
+    def build():
+        calls.append(1)
+        return workload_trace_cache(SCALE).db
+
+    lazy = TraceCache(build, SCALE, trace_dir=str(tmp_path), db_seed=42,
+                      lock_check_per_rescan=True)
+    lazy.get("Q6", 0, 0)
+    assert lazy.loads == 1 and not calls
+    # A miss beyond the store finally pays for the build.
+    lazy.get("Q6", 5, 0)
+    assert lazy.records == 1 and len(calls) == 1
