@@ -1,0 +1,54 @@
+"""CI fault-injection smoke: a faulted parallel sweep must match serial.
+
+Runs the same four-point line-size sweep twice -- once in-process, once on
+a 4-worker supervised pool with an injected worker raise, crash, garbage
+result, and hang -- and asserts the summaries are bit-identical and that
+every recovery path actually fired.  Also runnable locally::
+
+    PYTHONPATH=src python scripts/fault_smoke.py
+"""
+
+import os
+import sys
+
+
+def main():
+    from repro.core.faults import ENV_VAR
+    from repro.core.sweep import (
+        SweepPoint, clear_variant_cache, run_sweep, supervisor_stats,
+    )
+
+    points = [
+        SweepPoint(key=("Q6", line), qid="Q6",
+                   machine={"l1_line": line // 2, "l2_line": line})
+        for line in (16, 32, 64, 128)
+    ]
+    serial = run_sweep(points, scale="tiny", jobs=1)
+
+    # Drop the parent's point memo so the faulted run really uses the pool.
+    clear_variant_cache()
+    # Multi-attempt budgets (*N) keep each fault deterministic even though
+    # the crash-induced pool breakage charges every in-flight point an
+    # attempt: the fault still fires once the point actually runs.
+    os.environ[ENV_VAR] = "raise@0*2,crash@1,garbage@2*3,hang@3*2"
+    try:
+        faulted = run_sweep(points, scale="tiny", jobs=4, point_timeout=10.0)
+    finally:
+        del os.environ[ENV_VAR]
+
+    stats = supervisor_stats()
+    if faulted != serial:
+        print("FAIL: faulted parallel sweep diverged from the serial run",
+              file=sys.stderr)
+        return 1
+    for counter in ("retries", "respawns", "timeouts", "garbage"):
+        if stats[counter] < 1:
+            print(f"FAIL: expected the {counter!r} recovery path to fire: "
+                  f"{stats}", file=sys.stderr)
+            return 1
+    print(f"fault smoke OK: 4 faulted points == serial, {stats}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

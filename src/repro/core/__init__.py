@@ -17,13 +17,37 @@ from repro.core.experiment import (
     workload_database,
     workload_trace_cache,
 )
+from repro.core.checkpoint import CheckpointJournal
+from repro.core.errors import (
+    CheckpointError,
+    InvalidPointResult,
+    PointFailure,
+    PointTimeout,
+    ReproError,
+    SweepError,
+    TraceStoreError,
+    TraceStoreWarning,
+)
 from repro.core.report import format_table, normalize, percent
 from repro.core.locality import LocalityReport, analyze, analyze_query
 from repro.core.parallel import run_intra_query_workload
-from repro.core.sweep import SweepPoint, run_sweep, summarize
+from repro.core.sweep import (
+    SweepPoint, configure_sweep, run_sweep, summarize, supervisor_stats,
+)
 from repro.core.tracecache import QueryTrace, TraceCache
 
 __all__ = [
+    "CheckpointJournal",
+    "CheckpointError",
+    "InvalidPointResult",
+    "PointFailure",
+    "PointTimeout",
+    "ReproError",
+    "SweepError",
+    "TraceStoreError",
+    "TraceStoreWarning",
+    "configure_sweep",
+    "supervisor_stats",
     "LocalityReport",
     "analyze",
     "analyze_query",

@@ -1,0 +1,180 @@
+"""Checkpoint journal: completed sweep points as durable on-disk records.
+
+A paper-scale sweep is minutes of independent simulations; an OOM-killed
+worker or a Ctrl-C should cost the points still in flight, not the points
+already finished.  The journal makes every completed point durable the
+moment its summary exists: ``repro-experiments ... --checkpoint-dir D``
+appends one record per ``(point identity, summary)`` and a re-run loads
+the journal first, re-simulating only what is missing.  Replayed summaries
+are bit-identical to freshly computed ones (summaries are plain dicts of
+ints, floats, strings and lists, all of which survive a JSON round trip
+exactly).
+
+The format follows the trace store's discipline (:mod:`repro.core.tracestore`):
+self-describing framed records, each independently checksummed::
+
+    bytes 0..3    magic  b"RPCJ"
+    bytes 4..7    format version (u32, little-endian)
+    bytes 8..11   payload length P (u32)
+    bytes 12..    payload: UTF-8 JSON {"key": [...], "summary": {...}}
+    last 4        CRC-32 of the payload (u32)
+
+Appends are flushed and fsynced record by record, so the only loss mode a
+crash can produce is a truncated *tail*.  Loading stops at the first
+damaged record, warns, and truncates the file back to the last good
+record -- an interrupted writer never poisons later appends.
+"""
+
+import json
+import os
+import struct
+import warnings
+import zlib
+
+from repro.core.errors import CheckpointError
+
+MAGIC = b"RPCJ"
+FORMAT_VERSION = 1
+
+_PREFIX = struct.Struct("<4sII")
+_CRC = struct.Struct("<I")
+
+JOURNAL_NAME = "sweep-checkpoint.rpcj"
+
+
+def _plain(obj):
+    """Tuples become lists so a key round-trips through JSON canonically."""
+    if isinstance(obj, (tuple, list)):
+        return [_plain(x) for x in obj]
+    return obj
+
+
+def canonical_key(key):
+    """The canonical string identity of a point key (tuple/list agnostic)."""
+    return json.dumps(_plain(key), separators=(",", ":"))
+
+
+class CheckpointJournal:
+    """One append-only journal of completed sweep points.
+
+    ``entries`` maps :func:`canonical_key` strings to summary dicts;
+    :meth:`get` looks a point up, :meth:`append` makes a fresh completion
+    durable.  ``damaged`` counts truncated/corrupt tails repaired at open.
+    """
+
+    def __init__(self, directory, name=JOURNAL_NAME):
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {directory!r}: {exc}"
+            ) from exc
+        self.path = os.path.join(directory, name)
+        self.entries = {}
+        self.damaged = 0
+        self._load_and_repair()
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open checkpoint journal {self.path!r}: {exc}"
+            ) from exc
+
+    # -- reading -----------------------------------------------------------
+
+    def _load_and_repair(self):
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint journal {self.path!r}: {exc}"
+            ) from exc
+        good = 0
+        offset = 0
+        total = len(data)
+        while offset < total:
+            record = self._parse_record(data, offset)
+            if record is None:
+                break
+            end, key, summary = record
+            self.entries[canonical_key(key)] = summary
+            good = offset = end
+        if good < total:
+            self.damaged += 1
+            warnings.warn(
+                f"checkpoint journal {self.path}: damaged record at byte "
+                f"{good} (of {total}); keeping {len(self.entries)} good "
+                "entries and truncating the tail",
+                stacklevel=2,
+            )
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good)
+
+    @staticmethod
+    def _parse_record(data, offset):
+        """``(end_offset, key, summary)`` for the record at ``offset``, or
+        ``None`` on any damage (truncation, bad magic/version/CRC/JSON)."""
+        if offset + _PREFIX.size > len(data):
+            return None
+        magic, version, payload_len = _PREFIX.unpack_from(data, offset)
+        if magic != MAGIC or version != FORMAT_VERSION:
+            return None
+        start = offset + _PREFIX.size
+        end = start + payload_len + _CRC.size
+        if end > len(data):
+            return None
+        payload = data[start:start + payload_len]
+        (crc,) = _CRC.unpack_from(data, start + payload_len)
+        if zlib.crc32(payload) != crc:
+            return None
+        try:
+            record = json.loads(payload.decode())
+            return end, record["key"], record["summary"]
+        except (ValueError, UnicodeDecodeError, KeyError, TypeError):
+            return None
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, key, summary):
+        """Durably record one completed point (flush + fsync per record)."""
+        payload = json.dumps({"key": _plain(key), "summary": summary},
+                             separators=(",", ":")).encode()
+        record = (_PREFIX.pack(MAGIC, FORMAT_VERSION, len(payload))
+                  + payload + _CRC.pack(zlib.crc32(payload)))
+        try:
+            self._fh.write(record)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot append to checkpoint journal {self.path!r}: {exc}"
+            ) from exc
+        self.entries[canonical_key(key)] = summary
+
+    # -- lookup / lifecycle ------------------------------------------------
+
+    def get(self, key):
+        """The stored summary for ``key``, or ``None``."""
+        return self.entries.get(canonical_key(key))
+
+    def __contains__(self, key):
+        return canonical_key(key) in self.entries
+
+    def __len__(self):
+        return len(self.entries)
+
+    def close(self):
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,72 @@
+"""Typed error taxonomy for the experiment infrastructure.
+
+The reproduction treats traces and partial sweep results as durable
+artifacts, so every infrastructure failure mode has a dedicated type that
+carries enough context to act on: which point, how many attempts, what the
+workers reported.  Callers that want "any sweep-layer problem" catch
+:class:`SweepError`; callers that want "any repro infrastructure problem"
+catch :class:`ReproError`.
+
+``TraceStoreError`` lives here (re-exported by :mod:`repro.core.tracestore`
+for compatibility) because the store's damage taxonomy -- the ``cause``
+attribute -- feeds the per-cause corruption counters that
+``repro-experiments --time`` reports.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every typed error the experiment stack raises."""
+
+
+class TraceStoreError(ReproError):
+    """A stored trace is missing, damaged, or from an incompatible writer.
+
+    ``cause`` classifies the damage for the corruption counters:
+    ``"truncated"``, ``"checksum"``, ``"format"``, ``"header"``, ``"key"``,
+    ``"arrays"``, ``"rows"``, or ``"other"``.
+    """
+
+    def __init__(self, message, cause="other"):
+        super().__init__(message)
+        self.cause = cause
+
+
+class TraceStoreWarning(UserWarning):
+    """A damaged store entry was detected and silently fallen back from.
+
+    Emitted (once per damaged load) in default mode, where the cache
+    re-records; ``--strict-store`` raises :class:`TraceStoreError` instead.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal could not be opened or written."""
+
+
+class SweepError(ReproError):
+    """Base class for sweep-execution failures (see :mod:`repro.core.sweep`)."""
+
+
+class PointFailure(SweepError):
+    """One sweep point failed every recovery path.
+
+    Raised only after bounded worker retries *and* the in-process
+    degradation run have all failed; carries the point identity and the
+    original error so the failure is actionable without a pool traceback.
+    """
+
+    def __init__(self, message, point_key=None, qid=None, attempts=0,
+                 cause=None):
+        super().__init__(message)
+        self.point_key = point_key
+        self.qid = qid
+        self.attempts = attempts
+        self.cause = cause
+
+
+class PointTimeout(PointFailure):
+    """A sweep point exceeded the per-point timeout (hung worker)."""
+
+
+class InvalidPointResult(PointFailure):
+    """A worker returned something that is not a summary dict (garbage)."""

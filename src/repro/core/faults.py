@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the sweep execution layer.
+
+Recovery code that is never exercised is broken code; this module makes
+every failure mode of a parallel sweep reproducible on demand so the tests
+(and the CI smoke job) can prove each recovery path instead of trusting it.
+
+Faults are declared in the ``REPRO_FAULTS`` environment variable -- the
+environment is the one channel that reaches ``spawn`` pool workers without
+touching the task payload -- as a comma-separated list of
+``kind@index`` entries::
+
+    REPRO_FAULTS="crash@1,hang@3*2,garbage@0"
+
+``index`` is the sweep-point submission index (the Nth worker task);
+``kind`` is one of
+
+``crash``
+    the worker process exits hard (``os._exit``), like an OOM kill --
+    exercises ``BrokenProcessPool`` pool respawn;
+``hang``
+    the task sleeps ``REPRO_FAULTS_HANG`` seconds (default 300) --
+    exercises the per-point timeout and pool kill;
+``raise``
+    the task raises :class:`InjectedFault` -- exercises worker exception
+    propagation and retry;
+``garbage``
+    the task returns a non-summary object -- exercises result validation.
+
+``*N`` makes a fault fire on the first *N* attempts of that point (default
+1), so a retried point deterministically succeeds -- or keeps failing, to
+exercise the in-process degradation path.  Faults fire only inside pool
+workers (:func:`maybe_inject` is called from the worker task body), never
+in the supervising parent, so degraded in-process execution of a
+persistently failing point completes.
+
+:func:`corrupt_file` is the store-side counterpart: it bit-flips or
+truncates an on-disk artifact (trace-store entry, checkpoint journal) the
+way real disk/writer damage would, deterministically.  It doubles as a
+tiny CLI for the CI smoke job::
+
+    python -m repro.core.faults flip  path/to/entry.trace
+    python -m repro.core.faults truncate  path/to/entry.trace
+"""
+
+import os
+import time
+
+ENV_VAR = "REPRO_FAULTS"
+ENV_HANG = "REPRO_FAULTS_HANG"
+
+KINDS = ("crash", "hang", "raise", "garbage")
+
+#: Exit status of an injected worker crash (visible in pool diagnostics).
+CRASH_EXIT_CODE = 13
+
+
+class InjectedFault(RuntimeError):
+    """The error an injected ``raise`` fault produces in a worker."""
+
+
+class FaultPlan:
+    """A parsed fault specification: ``{point index: (kind, attempts)}``."""
+
+    def __init__(self, by_index=None, hang_seconds=None):
+        self.by_index = dict(by_index or {})
+        if hang_seconds is None:
+            hang_seconds = float(os.environ.get(ENV_HANG, "300"))
+        self.hang_seconds = hang_seconds
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse ``"kind@index[*attempts],..."``; raises ``ValueError``."""
+        by_index = {}
+        for entry in (spec or "").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            try:
+                kind, _, rest = entry.partition("@")
+                index, _, count = rest.partition("*")
+                index = int(index)
+                count = int(count) if count else 1
+            except ValueError:
+                raise ValueError(
+                    f"bad {ENV_VAR} entry {entry!r} "
+                    "(expected kind@index or kind@index*attempts)") from None
+            if kind not in KINDS:
+                raise ValueError(
+                    f"bad {ENV_VAR} entry {entry!r}: unknown kind {kind!r} "
+                    f"(expected one of {', '.join(KINDS)})")
+            if count < 1:
+                raise ValueError(
+                    f"bad {ENV_VAR} entry {entry!r}: attempts must be >= 1")
+            by_index[index] = (kind, count)
+        return cls(by_index)
+
+    def action(self, index, attempt):
+        """The fault kind to fire for ``(index, attempt)``, or ``None``."""
+        entry = self.by_index.get(index)
+        if entry is None:
+            return None
+        kind, count = entry
+        return kind if attempt < count else None
+
+    def __bool__(self):
+        return bool(self.by_index)
+
+
+# -- active plan -----------------------------------------------------------
+
+#: Test-API override (parent process only); ``None`` defers to the env var.
+_OVERRIDE = None
+_CACHED_SPEC = None
+_CACHED_PLAN = FaultPlan()
+
+
+def install(plan):
+    """Install a :class:`FaultPlan` directly (test API, this process only)."""
+    global _OVERRIDE
+    _OVERRIDE = plan
+
+
+def clear():
+    """Drop an installed plan; the environment variable rules again."""
+    global _OVERRIDE
+    _OVERRIDE = None
+
+
+def active_plan():
+    """The plan in force: an installed one, else ``REPRO_FAULTS`` (memoized
+    per spec string, so env changes between pools are picked up)."""
+    global _CACHED_SPEC, _CACHED_PLAN
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    spec = os.environ.get(ENV_VAR, "")
+    if spec != _CACHED_SPEC:
+        _CACHED_PLAN = FaultPlan.parse(spec)
+        _CACHED_SPEC = spec
+    return _CACHED_PLAN
+
+
+#: The sentinel a ``garbage`` fault returns in place of a summary dict.
+GARBAGE = {"injected": "garbage"}
+
+
+def maybe_inject(index, attempt):
+    """Fire the configured fault for worker task ``(index, attempt)``.
+
+    Returns ``None`` (no fault / fault already spent), or a garbage object
+    the caller must return *instead of* computing its summary.  ``crash``
+    never returns; ``hang`` sleeps; ``raise`` raises
+    :class:`InjectedFault`.
+    """
+    plan = active_plan()
+    if not plan:
+        return None
+    kind = plan.action(index, attempt)
+    if kind is None:
+        return None
+    if kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(plan.hang_seconds)
+        return None
+    if kind == "raise":
+        raise InjectedFault(
+            f"injected worker failure at point {index} (attempt {attempt})")
+    return dict(GARBAGE, point=index, attempt=attempt)
+
+
+# -- on-disk damage --------------------------------------------------------
+
+def corrupt_file(path, mode="flip"):
+    """Deterministically damage one on-disk artifact.
+
+    ``flip`` XORs a bit in the byte 7 from the end (inside a trace-store
+    payload, past the header); ``truncate`` cuts the file in half.
+    Returns the new length.
+    """
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    if mode == "flip":
+        if len(data) < 8:
+            raise ValueError(f"{path}: too short to bit-flip safely")
+        data[-7] ^= 0x01
+    elif mode == "truncate":
+        data = data[:len(data) // 2]
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+    return len(data)
+
+
+def main(argv=None):
+    import sys
+
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2 or argv[0] not in ("flip", "truncate"):
+        print("usage: python -m repro.core.faults {flip|truncate} PATH",
+              file=sys.stderr)
+        return 2
+    n = corrupt_file(argv[1], argv[0])
+    print(f"{argv[0]} {argv[1]} -> {n} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

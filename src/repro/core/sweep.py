@@ -21,10 +21,30 @@ With ``jobs=1`` (the default) everything runs in-process against the
 shared per-scale caches; results are identical either way because database
 generation, query parameters, and backend transaction ids are all
 process-independent.
+
+Parallel execution is *supervised*: every point is its own future, and the
+supervisor recovers from each worker failure mode -- a crashed worker
+(``BrokenProcessPool``: the pool is respawned), a hung worker (a
+configurable per-point timeout, after which the pool is killed and
+respawned), a raising worker (bounded retry with exponential backoff), and
+a garbage result (summaries are validated before acceptance).  A point
+that exhausts its worker retries degrades to in-process execution in the
+parent; only if that also fails does the sweep raise -- one structured
+:class:`~repro.core.errors.PointFailure` carrying the point key and the
+original error, never a bare pool traceback.  With a checkpoint journal
+(``checkpoint_dir=``, the ``--checkpoint-dir`` flag) every completed
+point is durable, and an interrupted sweep resumes from the journal
+instead of restarting.  All of this is deterministic to test: the
+:mod:`repro.core.faults` harness injects crashes, hangs, raises, and
+garbage at chosen points.
 """
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED, BrokenExecutor, CancelledError, ProcessPoolExecutor,
+    wait as _futures_wait,
+)
 from dataclasses import dataclass, field
 
 from repro.db.shmem import shared_home_fn
@@ -212,6 +232,54 @@ def run_point(point, scale, seed=42):
 
 # -- process-pool execution ------------------------------------------------------
 
+#: Process-wide defaults for the supervised executor, set by the
+#: ``repro-experiments`` flags (:func:`configure_sweep`) so the figure
+#: modules need not thread robustness knobs through their signatures.
+_SWEEP_DEFAULTS = {
+    "checkpoint_dir": None,   # --checkpoint-dir: journal completed points
+    "point_timeout": None,    # --point-timeout: seconds before a point hangs
+    "retries": 2,             # --retries: worker re-attempts per point
+    "backoff": 0.05,          # base delay; doubles per attempt
+}
+
+#: Supervisor observability for ``repro-experiments --time``.
+_SUP_STATS = {"retries": 0, "timeouts": 0, "respawns": 0, "fallbacks": 0,
+              "garbage": 0, "resumed": 0}
+
+#: Summary dicts must carry these keys to be accepted from a worker.
+_SUMMARY_KEYS = frozenset({
+    "exec_time", "components", "breakdown", "l1_grouped", "l2_grouped",
+    "l1_by_class", "l2_by_class", "l1_reads", "l1_writes", "cpu",
+})
+
+
+def configure_sweep(checkpoint_dir=None, point_timeout=None, retries=None,
+                    backoff=None):
+    """Set process-wide defaults for :func:`run_sweep`'s supervisor.
+
+    ``None`` leaves a setting unchanged; explicit ``run_sweep`` arguments
+    still take precedence per call.
+    """
+    for name, value in (("checkpoint_dir", checkpoint_dir),
+                        ("point_timeout", point_timeout),
+                        ("retries", retries), ("backoff", backoff)):
+        if value is not None:
+            _SWEEP_DEFAULTS[name] = value
+
+
+def supervisor_stats():
+    """Recovery-path counters: retries, timeouts, pool respawns, in-process
+    fallbacks, rejected garbage results, and checkpoint-resumed points."""
+    return dict(_SUP_STATS)
+
+
+def _valid_summary(summary):
+    """A worker result is accepted only if it looks like :func:`summarize`
+    output -- anything else (an injected garbage return, a half-pickled
+    object) is retried like a failure."""
+    return isinstance(summary, dict) and _SUMMARY_KEYS <= summary.keys()
+
+
 _WORKER_ARGS = None
 
 #: Traces shipped by the sweep parent: ``trace key -> encoded bytes``
@@ -232,13 +300,29 @@ def _shipped_trace(tkey):
     return trace
 
 
-def _worker_init(scale, seed, shipped=None):
+def _worker_init(scale, seed, shipped=None, strict_store=False):
     global _WORKER_ARGS, _SHIPPED
     _WORKER_ARGS = (scale, seed)
     _SHIPPED = shipped
+    if strict_store:
+        from repro.core import tracestore
+
+        tracestore.set_strict(True)
 
 
-def _worker_run(point):
+def _worker_task(index, attempt, point):
+    """One supervised task: fault-injection hook, then the simulation.
+
+    ``index`` is the point's submission index and ``attempt`` its retry
+    count -- the coordinates :mod:`repro.core.faults` keys injected
+    crashes/hangs/garbage on, so every recovery path is deterministic to
+    exercise.
+    """
+    from repro.core import faults
+
+    garbage = faults.maybe_inject(index, attempt)
+    if garbage is not None:
+        return garbage
     scale, seed = _WORKER_ARGS
     return run_point(point, scale, seed=seed)
 
@@ -266,38 +350,274 @@ def _ship_traces(todo, scale, seed):
     return shipped
 
 
-def run_sweep(points, scale="small", seed=42, jobs=1):
+def _terminate_pool(pool):
+    """Kill a pool's worker processes outright (hung or broken pool)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        pass  # a broken pool may refuse a clean shutdown; workers are dead
+
+
+def _point_failure(point, attempts, exc, timeout=False):
+    from repro.core.errors import PointFailure, PointTimeout
+
+    cls = PointTimeout if timeout else PointFailure
+    return cls(
+        f"sweep point {point.key!r} (qid={point.qid}) failed after "
+        f"{attempts} worker attempt(s) and an in-process retry: {exc}",
+        point_key=point.key, qid=point.qid, attempts=attempts, cause=exc)
+
+
+def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
+                    backoff, journal):
+    """Run ``todo`` on a supervised ``spawn`` pool; return summaries in
+    ``todo`` order.
+
+    Each point is one future; at most ``jobs`` are in flight, submitted in
+    list order (sweeps are built query-major, so neighbouring points share
+    a trace set and a worker's decoded-trace cache stays hot).  Worker
+    failures are retried up to ``retries`` times with exponential backoff;
+    a timeout or a dead worker kills and respawns the pool, re-queueing
+    the collateral in-flight points.  Points that exhaust their worker
+    retries degrade to in-process execution in the parent.
+    """
+    from repro.core.errors import InvalidPointResult, PointTimeout
+
+    shipped = _ship_traces(todo, scale, seed)
+    from repro.core.tracestore import get_strict
+
+    ctx = multiprocessing.get_context("spawn")
+    jobs = min(jobs, len(todo))
+    n = len(todo)
+    results = [None] * n
+    attempts = [0] * n
+    last_error = [None] * n
+    not_before = [0.0] * n
+    pending = list(range(n))
+    fallback = []
+    inflight = {}
+    pool = None
+    tick = min(0.1, point_timeout / 5) if point_timeout else 0.5
+
+    def record_checkpoint(i, summary):
+        results[i] = summary
+        if journal is not None:
+            journal.append(_point_cache_key(todo[i], scale, seed), summary)
+
+    def fail(i, exc, timed_out=False):
+        """Charge a failed attempt; requeue with backoff or hand to the
+        in-process fallback once the retry budget is spent."""
+        last_error[i] = exc
+        attempts[i] += 1
+        if timed_out:
+            _SUP_STATS["timeouts"] += 1
+        if attempts[i] > retries:
+            fallback.append(i)
+            _SUP_STATS["fallbacks"] += 1
+        else:
+            _SUP_STATS["retries"] += 1
+            not_before[i] = time.time() + backoff * (2 ** (attempts[i] - 1))
+            pending.append(i)
+
+    def respawn(exc=None):
+        """Tear down the pool and requeue its in-flight points.
+
+        With ``exc`` (pool breakage) every in-flight point is charged an
+        attempt: the culprit is unknowable, and an uncharged requeue
+        would retry a crash-on-attempt-N point at the same attempt
+        forever.  Without (the timeout path, where the culprits are
+        known and already charged), the collateral points retry free --
+        a point that keeps hanging is charged when it times out itself.
+        """
+        nonlocal pool
+        for i, _t0 in list(inflight.values()):
+            if exc is None:
+                pending.insert(0, i)
+            else:
+                fail(i, exc)
+        inflight.clear()
+        if pool is not None:
+            _terminate_pool(pool)
+            pool = None
+        _SUP_STATS["respawns"] += 1
+
+    try:
+        while pending or inflight:
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=ctx,
+                    initializer=_worker_init,
+                    initargs=(scale, seed, shipped, get_strict()))
+            now = time.time()
+            ready = [i for i in pending if not_before[i] <= now]
+            submit_broke = False
+            while ready and len(inflight) < jobs:
+                i = ready.pop(0)
+                pending.remove(i)
+                try:
+                    fut = pool.submit(_worker_task, i, attempts[i], todo[i])
+                except Exception as exc:
+                    # submit also spawns worker processes, so a worker
+                    # dying while we are still submitting surfaces here:
+                    # usually as BrokenExecutor, but the manager thread
+                    # tears the queues down concurrently, so mid-spawn it
+                    # can be an OSError ("handle is closed") or ValueError
+                    # from the half-pickled queue instead.  Same recovery
+                    # either way.
+                    fail(i, exc)
+                    respawn(exc)
+                    submit_broke = True
+                    break
+                inflight[fut] = (i, time.time())
+            if submit_broke:
+                continue
+            if not inflight:
+                # Everything still pending is in its backoff embargo.
+                time.sleep(max(0.0, min(not_before[i] for i in pending) - now))
+                continue
+            done, _ = _futures_wait(list(inflight), timeout=tick,
+                                    return_when=FIRST_COMPLETED)
+            broken = None
+            for fut in done:
+                i, _t0 = inflight.pop(fut)
+                try:
+                    summary = fut.result()
+                except (BrokenExecutor, CancelledError) as exc:
+                    # A worker died mid-task; the culprit is unknowable, so
+                    # every broken future is charged one attempt (bounded
+                    # either way, and the fallback path keeps correctness).
+                    # CancelledError (a BaseException) appears when the
+                    # dying pool cancelled the future first.
+                    broken = exc
+                    fail(i, exc)
+                except Exception as exc:
+                    fail(i, exc)
+                else:
+                    if _valid_summary(summary):
+                        record_checkpoint(i, summary)
+                    else:
+                        _SUP_STATS["garbage"] += 1
+                        fail(i, InvalidPointResult(
+                            f"worker returned a non-summary object "
+                            f"{type(summary).__name__!r} for point "
+                            f"{todo[i].key!r}", point_key=todo[i].key,
+                            qid=todo[i].qid, attempts=attempts[i] + 1))
+            if broken is not None:
+                # The futures _futures_wait did not report this round are
+                # broken too -- charge them through respawn, or a
+                # crash-on-attempt-N point requeued uncharged would crash
+                # at the same attempt indefinitely.
+                respawn(broken)
+                continue
+            if point_timeout:
+                now = time.time()
+                timed = [(fut, iv) for fut, iv in inflight.items()
+                         if now - iv[1] > point_timeout]
+                if timed:
+                    for fut, (i, _t0) in timed:
+                        del inflight[fut]
+                        fail(i, PointTimeout(
+                            f"sweep point {todo[i].key!r} exceeded the "
+                            f"{point_timeout:.1f}s point timeout",
+                            point_key=todo[i].key, qid=todo[i].qid,
+                            attempts=attempts[i] + 1), timed_out=True)
+                    respawn()
+        pool.shutdown(wait=True)
+        pool = None
+    finally:
+        if pool is not None:
+            _terminate_pool(pool)
+
+    # Graceful degradation: repeatedly failing points run in the parent,
+    # where no pool can lose them (and injected worker faults cannot fire).
+    for i in sorted(fallback):
+        point = todo[i]
+        try:
+            summary = run_point(point, scale, seed=seed)
+        except Exception as exc:
+            worker_exc = last_error[i]
+            raise _point_failure(
+                point, attempts[i], exc,
+                timeout=isinstance(worker_exc, PointTimeout)) from exc
+        record_checkpoint(i, summary)
+    return results
+
+
+def run_sweep(points, scale="small", seed=42, jobs=1, checkpoint_dir=None,
+              point_timeout=None, retries=None, backoff=None):
     """Run every sweep point; return ``{point.key: summary}`` in order.
 
     ``jobs=1`` runs in-process.  ``jobs>1`` fans the points out over a
-    ``spawn`` process pool: the parent prepares every needed trace once
-    (recording, or loading from the persistent store when
+    supervised ``spawn`` process pool: the parent prepares every needed
+    trace once (recording, or loading from the persistent store when
     ``repro-experiments --trace-dir`` configured one) and ships the
     encoded bytes to the workers, which replay without ever running the
-    database engine.  Results are independent of ``jobs``.
+    database engine.  Results are independent of ``jobs`` -- including
+    under worker crashes, hangs, and retries, which the supervisor
+    absorbs (see :func:`_run_supervised`); a sweep either completes with
+    correct results or raises one typed
+    :class:`~repro.core.errors.SweepError`.
+
+    ``checkpoint_dir`` journals every completed point
+    (:mod:`repro.core.checkpoint`); a re-run loads the journal and
+    re-simulates only unfinished points, bit-identically.
+    ``point_timeout`` (seconds), ``retries``, and ``backoff`` tune the
+    supervisor; ``None`` takes the :func:`configure_sweep` defaults.
     """
     points = list(points)
     scale = get_scale(scale)
-    # Only memo misses go to the pool: a sweep whose points were already
-    # simulated (e.g. fig9 right after fig8) answers from the parent's
-    # memo without spawning workers.
-    todo = [p for p in points
-            if _point_cache_key(p, scale, seed) not in _POINT_CACHE]
-    if jobs > 1 and len(todo) > 1:
-        shipped = _ship_traces(todo, scale, seed)
-        ctx = multiprocessing.get_context("spawn")
-        jobs = min(jobs, len(todo))
-        # Contiguous chunks keep one query's config points together
-        # (sweeps are built query-major), so a worker usually decodes one
-        # trace set and replays its whole chunk against it.
-        chunksize = max(1, len(todo) // (jobs * 2))
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
-                                 initializer=_worker_init,
-                                 initargs=(scale, seed, shipped)) as pool:
-            summaries = list(pool.map(_worker_run, todo,
-                                      chunksize=chunksize))
-        # Keep the parent's memo warm so a later sweep over the same
-        # points (the misses/time figure pairs) is free.
-        for p, s in zip(todo, summaries):
-            _POINT_CACHE[_point_cache_key(p, scale, seed)] = s
-    return {p.key: run_point(p, scale, seed=seed) for p in points}
+    if checkpoint_dir is None:
+        checkpoint_dir = _SWEEP_DEFAULTS["checkpoint_dir"]
+    if point_timeout is None:
+        point_timeout = _SWEEP_DEFAULTS["point_timeout"]
+    if retries is None:
+        retries = _SWEEP_DEFAULTS["retries"]
+    if backoff is None:
+        backoff = _SWEEP_DEFAULTS["backoff"]
+
+    journal = None
+    if checkpoint_dir is not None:
+        from repro.core.checkpoint import CheckpointJournal
+
+        journal = CheckpointJournal(checkpoint_dir)
+    try:
+        if journal is not None and journal.entries:
+            # Resume: journaled summaries seed the point memo, so completed
+            # points never reach the pool (or the in-process loop) again.
+            for p in points:
+                ckey = _point_cache_key(p, scale, seed)
+                if ckey not in _POINT_CACHE:
+                    summary = journal.get(ckey)
+                    if summary is not None:
+                        _POINT_CACHE[ckey] = summary
+                        _SUP_STATS["resumed"] += 1
+        # Only memo misses go to the pool: a sweep whose points were
+        # already simulated (e.g. fig9 right after fig8) answers from the
+        # parent's memo without spawning workers.
+        todo = [p for p in points
+                if _point_cache_key(p, scale, seed) not in _POINT_CACHE]
+        if jobs > 1 and len(todo) > 1:
+            summaries = _run_supervised(todo, scale, seed, jobs,
+                                        point_timeout, retries, backoff,
+                                        journal)
+            # Keep the parent's memo warm so a later sweep over the same
+            # points (the misses/time figure pairs) is free.
+            for p, s in zip(todo, summaries):
+                _POINT_CACHE[_point_cache_key(p, scale, seed)] = s
+        out = {}
+        for p in points:
+            ckey = _point_cache_key(p, scale, seed)
+            fresh = ckey not in _POINT_CACHE
+            summary = run_point(p, scale, seed=seed)
+            if fresh and journal is not None:
+                journal.append(ckey, summary)
+            out[p.key] = summary
+        return out
+    finally:
+        if journal is not None:
+            journal.close()

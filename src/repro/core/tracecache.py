@@ -242,14 +242,26 @@ class TraceCache:
     come from the store (or from shipped bytes) never pays for a database
     build at all.  A lazy cache must state ``lock_check_per_rescan``
     explicitly if its database would be non-default.
+
+    Damaged store entries fall back to re-recording with a warning and a
+    corruption counter (:func:`repro.core.tracestore.corruption_stats`);
+    ``strict_store=True`` raises :class:`TraceStoreError` instead
+    (``None`` defers to the ``--strict-store`` global).  Opening a cache
+    with a ``trace_dir`` also sweeps stale ``*.tmp.<pid>`` files left by
+    crashed writers.
     """
 
     def __init__(self, db, scale, trace_dir=None, db_seed=None,
-                 lock_check_per_rescan=None):
+                 lock_check_per_rescan=None, strict_store=None):
         self._db = db
         self.scale = get_scale(scale)
         self.trace_dir = trace_dir
         self.db_seed = db_seed
+        self.strict_store = strict_store
+        if trace_dir is not None:
+            from repro.core.tracestore import clean_stale_temps
+
+            clean_stale_temps(trace_dir)
         if lock_check_per_rescan is None:
             lock_check_per_rescan = (True if callable(db) else
                                      getattr(db, "lock_check_per_rescan",
@@ -293,7 +305,7 @@ class TraceCache:
             from repro.core.tracestore import load_trace, save_trace
 
             skey = self._store_key(qid, seed, node, arena_size)
-            loaded = load_trace(self.trace_dir, skey)
+            loaded = load_trace(self.trace_dir, skey, strict=self.strict_store)
             if loaded is not None:
                 trace, nbytes = loaded
                 self.loads += 1
@@ -337,7 +349,8 @@ class TraceCache:
         from repro.core.tracestore import iter_traces
 
         n = 0
-        for key, trace, nbytes in iter_traces(directory):
+        for key, trace, nbytes in iter_traces(directory,
+                                              strict=self.strict_store):
             scale_name, db_seed, qid, seed, node, arena_size, lc = key
             if (scale_name != self.scale.name or db_seed != self.db_seed
                     or lc != self.lock_check_per_rescan):

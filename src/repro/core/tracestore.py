@@ -25,8 +25,15 @@ table, and a CRC-32 of the payload.  Every anticipated failure -- missing
 file, truncation, bit flip, format-version bump, key collision, foreign
 itemsize -- surfaces as :class:`TraceStoreError`, which callers
 (:class:`~repro.core.tracecache.TraceCache`) treat as "not stored": they
-silently fall back to re-recording, so a damaged store costs time, never
+fall back to re-recording, so a damaged store costs time, never
 correctness.
+
+The fallback is *visible*, not silent: every damaged load increments a
+per-cause corruption counter (:func:`corruption_stats`, reported by
+``repro-experiments --time``) and emits a :class:`TraceStoreWarning`.
+``--strict-store`` (:func:`set_strict`) turns the fallback off entirely:
+damage raises :class:`TraceStoreError` instead of re-recording, for runs
+where a corrupted artifact must stop the world.
 """
 
 import hashlib
@@ -34,8 +41,19 @@ import json
 import os
 import pickle
 import struct
+import time
+import warnings
 import zlib
 from array import array
+
+from repro.core.errors import TraceStoreError, TraceStoreWarning
+
+__all__ = [
+    "TraceStoreError", "TraceStoreWarning", "store_key", "trace_filename",
+    "encode_trace", "decode_trace", "stored_key", "save_trace", "load_trace",
+    "iter_traces", "clean_stale_temps", "corruption_stats", "set_strict",
+    "get_strict",
+]
 
 MAGIC = b"RPTR"
 FORMAT_VERSION = 1
@@ -47,9 +65,45 @@ _COLUMNS = ("kinds", "a", "b", "c", "d", "e")
 
 SUFFIX = ".trace"
 
+#: Marker :func:`save_trace` puts in its temp-file names: ``<name>.tmp.<pid>``.
+TMP_MARKER = ".tmp."
 
-class TraceStoreError(Exception):
-    """A stored trace is missing, damaged, or from an incompatible writer."""
+#: Age (seconds) beyond which an unparsable temp file counts as stale.
+STALE_TMP_AGE = 3600.0
+
+#: Per-cause damaged-entry counters (see ``TraceStoreError.cause``), plus
+#: the stale temp files swept when directories are opened.
+_CORRUPTION = {}
+_STALE_REMOVED = 0
+
+#: Strict mode: damaged entries raise instead of falling back to
+#: re-recording.  Set by ``repro-experiments --strict-store``.
+_STRICT = False
+
+
+def set_strict(strict):
+    """Globally toggle strict store mode (damage raises, never re-records)."""
+    global _STRICT
+    _STRICT = bool(strict)
+
+
+def get_strict():
+    """Whether strict store mode is on."""
+    return _STRICT
+
+
+def corruption_stats():
+    """Observability for the fallback path: total and per-cause damaged
+    entries seen by this process, plus stale temp files removed."""
+    return {
+        "corrupt": sum(_CORRUPTION.values()),
+        "by_cause": dict(_CORRUPTION),
+        "stale_tmp_removed": _STALE_REMOVED,
+    }
+
+
+def _count_damage(exc):
+    _CORRUPTION[exc.cause] = _CORRUPTION.get(exc.cause, 0) + 1
 
 
 def store_key(scale_name, db_seed, qid, query_seed, node, arena_size,
@@ -105,20 +159,23 @@ def decode_trace(data, expect_key=None):
     from repro.core.tracecache import QueryTrace
 
     if len(data) < _PREFIX.size:
-        raise TraceStoreError("blob shorter than the fixed prefix")
+        raise TraceStoreError("blob shorter than the fixed prefix",
+                              cause="truncated")
     magic, version, header_len = _PREFIX.unpack_from(data)
     if magic != MAGIC:
-        raise TraceStoreError(f"bad magic {magic!r}")
+        raise TraceStoreError(f"bad magic {magic!r}", cause="format")
     if version != FORMAT_VERSION:
         raise TraceStoreError(
-            f"format version {version} (this writer is {FORMAT_VERSION})")
+            f"format version {version} (this writer is {FORMAT_VERSION})",
+            cause="format")
     body = data[_PREFIX.size:]
     if len(body) < header_len:
-        raise TraceStoreError("truncated header")
+        raise TraceStoreError("truncated header", cause="truncated")
     try:
         header = json.loads(body[:header_len].decode())
     except (ValueError, UnicodeDecodeError) as exc:
-        raise TraceStoreError(f"undecodable header: {exc}") from None
+        raise TraceStoreError(f"undecodable header: {exc}",
+                              cause="header") from None
     try:
         key = tuple(header["key"])
         arrays = header["arrays"]
@@ -128,16 +185,19 @@ def decode_trace(data, expect_key=None):
         payload_len = header["payload_len"]
         payload_crc = header["payload_crc"]
     except (KeyError, TypeError) as exc:
-        raise TraceStoreError(f"malformed header: {exc}") from None
+        raise TraceStoreError(f"malformed header: {exc}",
+                              cause="header") from None
     if expect_key is not None and key != tuple(expect_key):
         raise TraceStoreError(
-            f"stored key {key!r} does not match expected {tuple(expect_key)!r}")
+            f"stored key {key!r} does not match expected {tuple(expect_key)!r}",
+            cause="key")
     payload = body[header_len:]
     if len(payload) != payload_len:
         raise TraceStoreError(
-            f"payload is {len(payload)} bytes, header says {payload_len}")
+            f"payload is {len(payload)} bytes, header says {payload_len}",
+            cause="truncated")
     if zlib.crc32(payload) != payload_crc:
-        raise TraceStoreError("payload checksum mismatch")
+        raise TraceStoreError("payload checksum mismatch", cause="checksum")
 
     trace = QueryTrace()
     offset = 0
@@ -146,18 +206,20 @@ def decode_trace(data, expect_key=None):
         if arr.itemsize != itemsize:
             raise TraceStoreError(
                 f"array {name!r}: typecode {typecode!r} is {arr.itemsize} "
-                f"bytes here but {itemsize} in the store")
+                f"bytes here but {itemsize} in the store", cause="format")
         nbytes = itemsize * count
         arr.frombytes(payload[offset:offset + nbytes])
         offset += nbytes
         setattr(trace, name, arr)
     lengths = {len(getattr(trace, name)) for name in _COLUMNS}
     if len(lengths) != 1:
-        raise TraceStoreError("column arrays have unequal lengths")
+        raise TraceStoreError("column arrays have unequal lengths",
+                              cause="arrays")
     try:
         trace.rows = pickle.loads(payload[offset:offset + rows_len])
     except Exception as exc:  # pickle raises a zoo of types on damage
-        raise TraceStoreError(f"unpicklable result rows: {exc}") from None
+        raise TraceStoreError(f"unpicklable result rows: {exc}",
+                              cause="rows") from None
     trace.lock_ids = list(lock_ids)
     trace.n_source_events = n_source_events
     trace._rows_nbytes = rows_len
@@ -167,18 +229,21 @@ def decode_trace(data, expect_key=None):
 def stored_key(data):
     """The identifying key of an encoded blob (header-only peek)."""
     if len(data) < _PREFIX.size:
-        raise TraceStoreError("blob shorter than the fixed prefix")
+        raise TraceStoreError("blob shorter than the fixed prefix",
+                              cause="truncated")
     magic, version, header_len = _PREFIX.unpack_from(data)
     if magic != MAGIC:
-        raise TraceStoreError(f"bad magic {magic!r}")
+        raise TraceStoreError(f"bad magic {magic!r}", cause="format")
     if version != FORMAT_VERSION:
         raise TraceStoreError(
-            f"format version {version} (this writer is {FORMAT_VERSION})")
+            f"format version {version} (this writer is {FORMAT_VERSION})",
+            cause="format")
     try:
         header = json.loads(data[_PREFIX.size:_PREFIX.size + header_len].decode())
         return tuple(header["key"])
     except (ValueError, UnicodeDecodeError, KeyError, TypeError) as exc:
-        raise TraceStoreError(f"undecodable header: {exc}") from None
+        raise TraceStoreError(f"undecodable header: {exc}",
+                              cause="header") from None
 
 
 def save_trace(directory, key, trace):
@@ -198,11 +263,16 @@ def save_trace(directory, key, trace):
     return len(blob)
 
 
-def load_trace(directory, key):
+def load_trace(directory, key, strict=None):
     """Load the trace stored for ``key``; ``(trace, nbytes)`` or ``None``.
 
-    Any damage -- missing file, truncation, checksum failure, version or
-    key mismatch -- returns ``None`` so callers fall back to re-recording.
+    A missing file is a normal cold-cache miss and returns ``None``
+    quietly.  Damage -- truncation, checksum failure, version or key
+    mismatch -- increments the matching corruption counter, emits a
+    :class:`TraceStoreWarning`, and returns ``None`` so callers fall back
+    to re-recording; under strict mode (``strict=True``, or the
+    :func:`set_strict` global when ``strict`` is ``None``) the
+    :class:`TraceStoreError` propagates instead.
     """
     path = os.path.join(directory, trace_filename(key))
     try:
@@ -212,15 +282,22 @@ def load_trace(directory, key):
         return None
     try:
         trace, _ = decode_trace(data, expect_key=key)
-    except TraceStoreError:
+    except TraceStoreError as exc:
+        _count_damage(exc)
+        if _STRICT if strict is None else strict:
+            raise
+        warnings.warn(f"damaged trace store entry {path}: {exc} "
+                      "(falling back to re-recording)",
+                      TraceStoreWarning, stacklevel=2)
         return None
     return trace, len(data)
 
 
-def iter_traces(directory):
+def iter_traces(directory, strict=None):
     """Yield ``(key, trace, nbytes)`` for every readable stored trace.
 
-    Damaged or foreign files are skipped, not raised: a trace directory is
+    Damaged files are counted, warned about, and skipped (raised under
+    strict mode); foreign files are ignored outright: a trace directory is
     a cache, and a cache with a bad entry is just a smaller cache.
     """
     try:
@@ -230,10 +307,66 @@ def iter_traces(directory):
     for name in names:
         if not name.endswith(SUFFIX):
             continue
+        path = os.path.join(directory, name)
         try:
-            with open(os.path.join(directory, name), "rb") as fh:
+            with open(path, "rb") as fh:
                 data = fh.read()
             trace, key = decode_trace(data)
-        except (OSError, TraceStoreError):
+        except OSError:
+            continue
+        except TraceStoreError as exc:
+            _count_damage(exc)
+            if _STRICT if strict is None else strict:
+                raise
+            warnings.warn(f"damaged trace store entry {path}: {exc} "
+                          "(skipped)", TraceStoreWarning, stacklevel=2)
             continue
         yield key, trace, len(data)
+
+
+def clean_stale_temps(directory, max_age=STALE_TMP_AGE):
+    """Remove stale ``*.tmp.<pid>`` files a crashed writer left behind.
+
+    A temp file is stale when its writer pid no longer exists (an alive
+    pid means a concurrent writer mid-:func:`save_trace`; it is left
+    alone), or -- for unparsable names -- when it is older than
+    ``max_age`` seconds.  Called whenever a trace directory is opened
+    (:class:`~repro.core.tracecache.TraceCache` with a ``trace_dir``).
+    Returns the number of files removed.
+    """
+    global _STALE_REMOVED
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    removed = 0
+    now = time.time()
+    for name in names:
+        if TMP_MARKER not in name:
+            continue
+        path = os.path.join(directory, name)
+        pid_part = name.rsplit(".", 1)[-1]
+        if pid_part.isdigit():
+            pid = int(pid_part)
+            if pid == os.getpid():
+                continue
+            try:
+                os.kill(pid, 0)
+                continue  # writer is alive: an in-flight save_trace
+            except ProcessLookupError:
+                pass  # writer is gone: stale
+            except (PermissionError, OSError):
+                continue  # pid exists but is not ours: leave it alone
+        else:
+            try:
+                if now - os.path.getmtime(path) < max_age:
+                    continue
+            except OSError:
+                continue
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:
+            pass
+    _STALE_REMOVED += removed
+    return removed

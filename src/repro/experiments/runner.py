@@ -9,6 +9,10 @@ Usage::
     repro-experiments fig8 fig9 --jobs 4    # sweeps on a 4-worker pool
     repro-experiments fig8 --trace-dir ~/.cache/repro-traces
                                             # record once, load forever
+    repro-experiments fig8 fig9 --jobs 4 --checkpoint-dir ckpt \\
+        --point-timeout 120 --retries 3     # fault-tolerant paper-scale run
+                                            # (Ctrl-C / crash, then re-run:
+                                            #  resumes from completed points)
 """
 
 import argparse
@@ -43,10 +47,26 @@ def main(argv=None):
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="persistent trace store: record query traces "
                              "there on first run, load them on later runs "
-                             "(damaged entries silently re-record)")
+                             "(damaged entries re-record with a warning; "
+                             "see --strict-store)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="journal completed sweep points there; an "
+                             "interrupted run resumes from the journal "
+                             "instead of restarting")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="kill and retry a sweep point whose worker "
+                             "exceeds SEC seconds (default: no timeout)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="worker re-attempts per failed sweep point "
+                             "before degrading to in-process execution "
+                             "(default: 2)")
+    parser.add_argument("--strict-store", action="store_true",
+                        help="raise on damaged trace-store entries instead "
+                             "of re-recording them")
     parser.add_argument("--time", action="store_true", dest="show_time",
-                        help="print wall-clock and cache-traffic summaries "
-                             "after the reports")
+                        help="print wall-clock, cache-traffic, and "
+                             "robustness summaries after the reports")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     args = parser.parse_args(argv)
@@ -55,6 +75,17 @@ def main(argv=None):
         from repro.core.experiment import set_trace_dir
 
         set_trace_dir(args.trace_dir)
+    if args.strict_store:
+        from repro.core.experiment import set_strict_store
+
+        set_strict_store(True)
+    if (args.checkpoint_dir is not None or args.point_timeout is not None
+            or args.retries is not None):
+        from repro.core.sweep import configure_sweep
+
+        configure_sweep(checkpoint_dir=args.checkpoint_dir,
+                        point_timeout=args.point_timeout,
+                        retries=args.retries)
 
     if args.list or not args.experiments:
         print("Available experiments:")
@@ -70,22 +101,35 @@ def main(argv=None):
         return 2
 
     timings = []
-    for name in names:
-        mod = REGISTRY[name]
-        kwargs = {"scale": args.scale}
-        # Sweep-based experiments take a worker count; the others ignore it.
-        if "jobs" in inspect.signature(mod.run).parameters:
-            kwargs["jobs"] = args.jobs
-        start = time.time()
-        results = mod.run(**kwargs)
-        elapsed = time.time() - start
-        timings.append((name, elapsed))
-        print(f"\n{'=' * 72}\n{name}  (scale={args.scale}, {elapsed:.1f}s)\n{'=' * 72}")
-        print(mod.report(results))
+    interrupted = False
+    try:
+        for name in names:
+            mod = REGISTRY[name]
+            kwargs = {"scale": args.scale}
+            # Sweep-based experiments take a worker count; the others
+            # ignore it.
+            if "jobs" in inspect.signature(mod.run).parameters:
+                kwargs["jobs"] = args.jobs
+            start = time.time()
+            results = mod.run(**kwargs)
+            elapsed = time.time() - start
+            timings.append((name, elapsed))
+            print(f"\n{'=' * 72}\n{name}  (scale={args.scale}, {elapsed:.1f}s)\n{'=' * 72}")
+            print(mod.report(results))
+    except KeyboardInterrupt:
+        # Completed points are already durable (the checkpoint journal
+        # flushes per record); report what finished instead of a traceback.
+        interrupted = True
+        print("\ninterrupted"
+              + (f" -- completed sweep points are journaled under "
+                 f"{args.checkpoint_dir}; re-run the same command to resume"
+                 if args.checkpoint_dir else ""),
+              file=sys.stderr)
 
     if args.show_time:
         from repro.core.experiment import trace_cache_stats
-        from repro.core.sweep import point_memo_stats
+        from repro.core.sweep import point_memo_stats, supervisor_stats
+        from repro.core.tracestore import corruption_stats
 
         print(f"\n{'=' * 72}\nTimings  (scale={args.scale}, jobs={args.jobs})"
               f"\n{'=' * 72}")
@@ -100,9 +144,20 @@ def main(argv=None):
         print(f"  trace store  read={_fmt_bytes(tc['bytes_read'])} "
               f"written={_fmt_bytes(tc['bytes_written'])}"
               + (f"  dir={args.trace_dir}" if args.trace_dir else ""))
+        cs = corruption_stats()
+        causes = " ".join(f"{cause}={n}"
+                          for cause, n in sorted(cs["by_cause"].items()))
+        print(f"  store health corrupt={cs['corrupt']}"
+              + (f" ({causes})" if causes else "")
+              + f" stale_tmp_removed={cs['stale_tmp_removed']}")
         print(f"  point memo   hits={pm['hits']} misses={pm['misses']} "
               f"cached={pm['cached']}")
-    return 0
+        sup = supervisor_stats()
+        print(f"  supervisor   retries={sup['retries']} "
+              f"timeouts={sup['timeouts']} respawns={sup['respawns']} "
+              f"fallbacks={sup['fallbacks']} garbage={sup['garbage']} "
+              f"resumed={sup['resumed']}")
+    return 130 if interrupted else 0
 
 
 if __name__ == "__main__":

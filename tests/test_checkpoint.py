@@ -1,0 +1,128 @@
+"""Checkpoint journal: durability, resume identity, damaged-tail repair.
+
+The journal's contract (see :mod:`repro.core.checkpoint`) is that a
+summary read back from disk is bit-identical to the one that was appended,
+and that the only loss a crash can produce is a truncated tail -- which a
+reopen repairs without poisoning later appends.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.core.checkpoint import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointJournal,
+    canonical_key,
+)
+from repro.core.errors import CheckpointError
+
+KEY_A = ("tiny", 42, "Q6", (64, 128, True), 4)
+KEY_B = ("tiny", 42, "Q12", (64, 128, True), 4)
+SUMMARY_A = {
+    "exec_time": 123456,
+    "breakdown": {"busy": 0.5, "msync": 0.25, "mem": 0.25},
+    "l2_grouped": {"Database": [10, 2], "Meta": [3, 0]},
+    "cpu": [{"busy": 100, "msync": 5, "mem": 7, "finish_time": 112}],
+}
+SUMMARY_B = {"exec_time": 7, "breakdown": {}, "l2_grouped": {}, "cpu": []}
+
+
+def test_canonical_key_is_tuple_list_agnostic():
+    assert canonical_key(KEY_A) == canonical_key(
+        ["tiny", 42, "Q6", [64, 128, True], 4])
+    assert canonical_key(KEY_A) != canonical_key(KEY_B)
+
+
+def test_append_and_reopen_round_trip(tmp_path):
+    with CheckpointJournal(tmp_path) as journal:
+        journal.append(KEY_A, SUMMARY_A)
+        journal.append(KEY_B, SUMMARY_B)
+        assert KEY_A in journal and len(journal) == 2
+
+    reopened = CheckpointJournal(tmp_path)
+    assert len(reopened) == 2
+    assert reopened.damaged == 0
+    # Bit-identical resume: the summary survives the JSON round trip
+    # exactly, nested floats and all.
+    assert reopened.get(KEY_A) == SUMMARY_A
+    assert reopened.get(KEY_B) == SUMMARY_B
+    assert reopened.get(("tiny", 42, "absent", (), 4)) is None
+    reopened.close()
+
+
+def test_rewritten_key_takes_the_latest_summary(tmp_path):
+    with CheckpointJournal(tmp_path) as journal:
+        journal.append(KEY_A, SUMMARY_A)
+        journal.append(KEY_A, SUMMARY_B)
+    with CheckpointJournal(tmp_path) as reopened:
+        assert reopened.get(KEY_A) == SUMMARY_B
+
+
+def test_truncated_tail_is_repaired(tmp_path):
+    with CheckpointJournal(tmp_path) as journal:
+        journal.append(KEY_A, SUMMARY_A)
+        good_size = os.path.getsize(journal.path)
+        journal.append(KEY_B, SUMMARY_B)
+        path = journal.path
+
+    # Crash mid-append: the second record loses its tail.
+    with open(path, "r+b") as fh:
+        fh.truncate(good_size + 9)
+
+    with pytest.warns(UserWarning, match="damaged record"):
+        reopened = CheckpointJournal(tmp_path)
+    assert reopened.damaged == 1
+    assert reopened.get(KEY_A) == SUMMARY_A
+    assert reopened.get(KEY_B) is None
+    # The tail was truncated back to the last good record, so appending
+    # and reopening again is clean.
+    reopened.append(KEY_B, SUMMARY_B)
+    reopened.close()
+    third = CheckpointJournal(tmp_path)
+    assert third.damaged == 0
+    assert third.get(KEY_B) == SUMMARY_B
+    third.close()
+
+
+def test_corrupted_record_stops_the_load(tmp_path):
+    with CheckpointJournal(tmp_path) as journal:
+        journal.append(KEY_A, SUMMARY_A)
+        journal.append(KEY_B, SUMMARY_B)
+        path = journal.path
+
+    # Flip a payload byte inside the second record.
+    data = bytearray(open(path, "rb").read())
+    second = data.index(MAGIC, 4)
+    data[second + struct.calcsize("<4sII") + 5] ^= 0x40
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+
+    with pytest.warns(UserWarning, match="damaged record"):
+        reopened = CheckpointJournal(tmp_path)
+    assert reopened.get(KEY_A) == SUMMARY_A
+    assert KEY_B not in reopened
+    reopened.close()
+
+
+def test_version_bump_invalidates_the_record(tmp_path):
+    with CheckpointJournal(tmp_path) as journal:
+        journal.append(KEY_A, SUMMARY_A)
+        path = journal.path
+    data = bytearray(open(path, "rb").read())
+    struct.pack_into("<I", data, 4, FORMAT_VERSION + 1)
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+    with pytest.warns(UserWarning):
+        reopened = CheckpointJournal(tmp_path)
+    assert len(reopened) == 0
+    reopened.close()
+
+
+def test_unwritable_directory_raises_checkpoint_error(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file where the directory should go")
+    with pytest.raises(CheckpointError):
+        CheckpointJournal(blocker / "nested")

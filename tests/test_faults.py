@@ -1,0 +1,108 @@
+"""Fault-injection harness: spec parsing, firing rules, on-disk damage."""
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import FaultPlan, InjectedFault, corrupt_file
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    yield
+    faults.clear()
+
+
+def test_parse_single_and_multi_entries():
+    plan = FaultPlan.parse("crash@1,hang@3*2, raise@0 ,garbage@5")
+    assert plan.by_index == {
+        1: ("crash", 1), 3: ("hang", 2), 0: ("raise", 1), 5: ("garbage", 1),
+    }
+    assert bool(plan)
+
+
+def test_parse_empty_spec_is_a_no_op_plan():
+    assert not FaultPlan.parse("")
+    assert not FaultPlan.parse(None)
+    assert FaultPlan.parse("").action(0, 0) is None
+
+
+@pytest.mark.parametrize("spec", [
+    "explode@1",         # unknown kind
+    "crash@x",           # non-integer index
+    "crash@1*0",         # attempts must be >= 1
+    "crash",             # missing index
+    "crash@1*y",         # non-integer attempts
+])
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(ValueError, match="bad REPRO_FAULTS entry"):
+        FaultPlan.parse(spec)
+
+
+def test_action_fires_on_the_first_n_attempts_only():
+    plan = FaultPlan.parse("raise@2*2")
+    assert plan.action(2, 0) == "raise"
+    assert plan.action(2, 1) == "raise"
+    assert plan.action(2, 2) is None     # retry budget spent: succeed
+    assert plan.action(0, 0) is None     # other points untouched
+
+
+def test_hang_seconds_comes_from_the_environment(monkeypatch):
+    monkeypatch.setenv(faults.ENV_HANG, "1.5")
+    assert FaultPlan.parse("hang@0").hang_seconds == 1.5
+
+
+def test_active_plan_tracks_the_environment(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "raise@7")
+    assert faults.active_plan().by_index == {7: ("raise", 1)}
+    monkeypatch.setenv(faults.ENV_VAR, "garbage@2")
+    assert faults.active_plan().by_index == {2: ("garbage", 1)}
+    monkeypatch.delenv(faults.ENV_VAR)
+    assert not faults.active_plan()
+
+
+def test_install_overrides_the_environment(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "raise@7")
+    faults.install(FaultPlan.parse("garbage@0"))
+    assert faults.active_plan().by_index == {0: ("garbage", 1)}
+    faults.clear()
+    assert faults.active_plan().by_index == {7: ("raise", 1)}
+
+
+def test_maybe_inject_raise_and_garbage():
+    faults.install(FaultPlan.parse("raise@1,garbage@2"))
+    assert faults.maybe_inject(0, 0) is None
+    with pytest.raises(InjectedFault, match="point 1"):
+        faults.maybe_inject(1, 0)
+    assert faults.maybe_inject(1, 1) is None   # fault spent after 1 attempt
+    garbage = faults.maybe_inject(2, 0)
+    assert garbage is not None
+    assert garbage["injected"] == "garbage"
+    assert garbage["point"] == 2
+
+
+def test_corrupt_file_flip_and_truncate(tmp_path):
+    path = tmp_path / "artifact.bin"
+    original = bytes(range(64))
+    path.write_bytes(original)
+
+    assert corrupt_file(path, "flip") == 64
+    flipped = path.read_bytes()
+    assert len(flipped) == 64 and flipped != original
+    assert flipped[-7] == original[-7] ^ 0x01
+
+    assert corrupt_file(path, "truncate") == 32
+    assert len(path.read_bytes()) == 32
+
+    with pytest.raises(ValueError, match="unknown corruption mode"):
+        corrupt_file(path, "melt")
+    (tmp_path / "short.bin").write_bytes(b"abc")
+    with pytest.raises(ValueError, match="too short"):
+        corrupt_file(tmp_path / "short.bin", "flip")
+
+
+def test_faults_cli(tmp_path, capsys):
+    path = tmp_path / "entry.trace"
+    path.write_bytes(bytes(range(32)))
+    assert faults.main(["flip", str(path)]) == 0
+    assert "32 bytes" in capsys.readouterr().out
+    assert faults.main(["melt", str(path)]) == 2

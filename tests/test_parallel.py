@@ -100,6 +100,22 @@ def test_intra_query_speedup_over_single_processor():
     assert speedup > 2.0, speedup
 
 
+def test_sweep_results_independent_of_jobs():
+    """One sweep, three worker counts, one answer.  With per-point futures
+    there is no chunking: any split of points over workers must reproduce
+    the serial summaries bit for bit, including when points outnumber the
+    pool and the submission window has to cycle."""
+    from repro.core.sweep import SweepPoint, clear_variant_cache, run_sweep
+
+    points = [SweepPoint(key=("Q6", line), qid="Q6",
+                         machine={"l1_line": line // 2, "l2_line": line})
+              for line in (16, 32, 64, 128)]
+    serial = run_sweep(points, scale="tiny", jobs=1)
+    for jobs in (2, 3):
+        clear_variant_cache()   # force the points through the pool
+        assert run_sweep(points, scale="tiny", jobs=jobs) == serial
+
+
 def test_intra_vs_inter_query_parallelism():
     """Four processors on one query finish one query faster than four
     processors running four copies (which is throughput, not latency)."""

@@ -1,0 +1,143 @@
+"""Supervised sweep execution: every worker failure mode recovers.
+
+The supervisor's contract (see :mod:`repro.core.sweep`) is that a parallel
+sweep under injected crashes, hangs, raises, and garbage results completes
+with summaries bit-identical to the ``jobs=1`` run -- or, when a point
+cannot be computed at all, raises one :class:`PointFailure` carrying the
+point's identity and the original error.  Faults are injected through
+:mod:`repro.core.faults`, which ``spawn`` workers pick up from the
+environment.
+"""
+
+import pytest
+
+from repro.core.errors import PointFailure
+from repro.core.faults import ENV_VAR
+from repro.core.sweep import (
+    _SWEEP_DEFAULTS,
+    SweepPoint,
+    clear_variant_cache,
+    configure_sweep,
+    point_memo_stats,
+    run_sweep,
+    supervisor_stats,
+)
+
+SCALE = "tiny"
+LINES = (16, 32, 64, 128)
+
+
+def _points(n):
+    return [SweepPoint(key=("Q6", line), qid="Q6",
+                       machine={"l1_line": line // 2, "l2_line": line})
+            for line in LINES[:n]]
+
+
+@pytest.fixture(autouse=True)
+def _restore_sweep_defaults():
+    saved = dict(_SWEEP_DEFAULTS)
+    yield
+    _SWEEP_DEFAULTS.clear()
+    _SWEEP_DEFAULTS.update(saved)
+
+
+@pytest.fixture(scope="module")
+def serial3():
+    """The jobs=1 ground truth for the first three sweep points."""
+    return run_sweep(_points(3), scale=SCALE, jobs=1)
+
+
+def _parallel(points, **kwargs):
+    # Drop the parent's point memo so the points actually reach the pool.
+    clear_variant_cache()
+    return run_sweep(points, scale=SCALE, **kwargs)
+
+
+def test_injected_raise_is_retried(monkeypatch, serial3):
+    monkeypatch.setenv(ENV_VAR, "raise@1")
+    before = supervisor_stats()
+    result = _parallel(_points(3), jobs=2)
+    after = supervisor_stats()
+    assert result == serial3
+    assert after["retries"] > before["retries"]
+    assert after["fallbacks"] == before["fallbacks"]
+
+
+def test_crash_respawns_pool_and_garbage_is_rejected(monkeypatch, serial3):
+    monkeypatch.setenv(ENV_VAR, "crash@0,garbage@2")
+    before = supervisor_stats()
+    result = _parallel(_points(3), jobs=2)
+    after = supervisor_stats()
+    assert result == serial3
+    assert after["respawns"] > before["respawns"]
+    assert after["garbage"] > before["garbage"]
+
+
+def test_hang_times_out_and_recovers(monkeypatch, serial3):
+    monkeypatch.setenv(ENV_VAR, "hang@1")
+    before = supervisor_stats()
+    result = _parallel(_points(3), jobs=2, point_timeout=8.0)
+    after = supervisor_stats()
+    assert result == serial3
+    assert after["timeouts"] > before["timeouts"]
+    assert after["respawns"] > before["respawns"]
+
+
+def test_persistent_failure_degrades_to_in_process(monkeypatch, serial3):
+    # The fault outlives the retry budget, so the point must complete in
+    # the parent (where injected faults never fire).
+    monkeypatch.setenv(ENV_VAR, "raise@0*9")
+    before = supervisor_stats()
+    result = _parallel(_points(2), jobs=2, retries=1)
+    after = supervisor_stats()
+    assert result == {p.key: serial3[p.key] for p in _points(2)}
+    assert after["fallbacks"] > before["fallbacks"]
+
+
+def test_worker_error_carries_point_identity():
+    # A genuinely broken point (not an injected fault): the error must
+    # surface with the point key and the original message, not a bare
+    # pool traceback -- and not poison the healthy point beside it.
+    bad = SweepPoint(key=("Q6", "bogus"), qid="Q6", placement="bogus")
+    clear_variant_cache()
+    with pytest.raises(PointFailure, match="unknown placement") as excinfo:
+        run_sweep([_points(1)[0], bad], scale=SCALE, jobs=2, retries=0)
+    assert excinfo.value.point_key == ("Q6", "bogus")
+    assert excinfo.value.qid == "Q6"
+
+
+def test_checkpoint_resume_skips_completed_points(tmp_path, serial3):
+    ckpt = str(tmp_path)
+    first = _parallel(_points(2), jobs=1, checkpoint_dir=ckpt)
+    assert first == {p.key: serial3[p.key] for p in _points(2)}
+
+    # Simulated restart: the memo is gone, only the journal remains.
+    clear_variant_cache()
+    before_misses = point_memo_stats()["misses"]
+    before_resumed = supervisor_stats()["resumed"]
+    again = run_sweep(_points(2), scale=SCALE, jobs=1, checkpoint_dir=ckpt)
+    assert again == first
+    assert point_memo_stats()["misses"] == before_misses
+    assert supervisor_stats()["resumed"] == before_resumed + 2
+
+    # Growing the sweep re-simulates only the new point.
+    clear_variant_cache()
+    before_misses = point_memo_stats()["misses"]
+    extended = run_sweep(_points(3), scale=SCALE, jobs=1, checkpoint_dir=ckpt)
+    assert extended == serial3
+    assert point_memo_stats()["misses"] == before_misses + 1
+
+
+def test_configure_sweep_sets_process_defaults(tmp_path):
+    configure_sweep(checkpoint_dir=str(tmp_path), point_timeout=30.0,
+                    retries=5, backoff=0.1)
+    assert _SWEEP_DEFAULTS == {"checkpoint_dir": str(tmp_path),
+                               "point_timeout": 30.0, "retries": 5,
+                               "backoff": 0.1}
+    # None leaves settings untouched.
+    configure_sweep(retries=1)
+    assert _SWEEP_DEFAULTS["point_timeout"] == 30.0
+    assert _SWEEP_DEFAULTS["retries"] == 1
+    # The checkpoint_dir default reaches run_sweep without an argument.
+    run_sweep(_points(1), scale=SCALE)
+    assert (tmp_path / "sweep-checkpoint.rpcj").exists()

@@ -6,21 +6,28 @@ damaged or incompatible entry behaves as "not stored": the cache re-records
 instead of ever replaying corrupt data.
 """
 
+import os
 import struct
+import subprocess
+import sys
 
 import pytest
 
+from repro.core.errors import TraceStoreWarning
 from repro.core.experiment import workload_trace_cache
 from repro.core.tracecache import TraceCache
 from repro.core.tracestore import (
     FORMAT_VERSION,
     MAGIC,
     TraceStoreError,
+    clean_stale_temps,
+    corruption_stats,
     decode_trace,
     encode_trace,
     iter_traces,
     load_trace,
     save_trace,
+    set_strict,
     store_key,
     stored_key,
     trace_filename,
@@ -196,3 +203,99 @@ def test_lazy_database_stays_unbuilt_on_warm_store(tmp_path):
     # A miss beyond the store finally pays for the build.
     lazy.get("Q6", 5, 0)
     assert lazy.records == 1 and len(calls) == 1
+
+
+# -- failure-path visibility ------------------------------------------------
+
+def _damage_entry(tmp_path):
+    """A stored Q6 trace with one payload byte flipped; returns its key."""
+    key = _key("Q6")
+    save_trace(tmp_path, key, _trace("Q6"))
+    path = tmp_path / trace_filename(key)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) - 7] ^= 0x01
+    path.write_bytes(bytes(blob))
+    return key
+
+
+def test_damaged_load_warns_and_counts(tmp_path):
+    key = _damage_entry(tmp_path)
+    before = corruption_stats()
+    with pytest.warns(TraceStoreWarning, match="damaged trace store entry"):
+        assert load_trace(tmp_path, key) is None
+    after = corruption_stats()
+    assert after["corrupt"] == before["corrupt"] + 1
+    assert (after["by_cause"].get("checksum", 0)
+            == before["by_cause"].get("checksum", 0) + 1)
+
+
+def test_missing_entry_is_a_silent_miss(tmp_path):
+    import warnings
+
+    before = corruption_stats()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert load_trace(tmp_path, _key("Q6")) is None
+    assert corruption_stats()["corrupt"] == before["corrupt"]
+
+
+def test_strict_mode_raises_instead_of_falling_back(tmp_path):
+    key = _damage_entry(tmp_path)
+    with pytest.raises(TraceStoreError):
+        load_trace(tmp_path, key, strict=True)
+    with pytest.raises(TraceStoreError):
+        list(iter_traces(tmp_path, strict=True))
+    # The global switch (--strict-store) has the same effect.
+    set_strict(True)
+    try:
+        with pytest.raises(TraceStoreError):
+            load_trace(tmp_path, key)
+    finally:
+        set_strict(False)
+    # An explicit strict=False overrides the global.
+    set_strict(True)
+    try:
+        with pytest.warns(TraceStoreWarning):
+            assert load_trace(tmp_path, key, strict=False) is None
+    finally:
+        set_strict(False)
+
+
+def _dead_pid():
+    """A pid guaranteed not to be running: a just-reaped child's."""
+    proc = subprocess.Popen([sys.executable, "-c", ""])
+    proc.wait()
+    return proc.pid
+
+
+def test_clean_stale_temps_removes_only_dead_writers(tmp_path):
+    dead = tmp_path / f"a.trace.tmp.{_dead_pid()}"
+    mine = tmp_path / f"b.trace.tmp.{os.getpid()}"
+    alive = tmp_path / f"c.trace.tmp.{os.getppid()}"
+    old_junk = tmp_path / "d.trace.tmp.notapid"
+    fresh_junk = tmp_path / "e.trace.tmp.alsonotapid"
+    for path in (dead, mine, alive, old_junk, fresh_junk):
+        path.write_bytes(b"partial write")
+    os.utime(old_junk, (0, 0))
+
+    before = corruption_stats()["stale_tmp_removed"]
+    assert clean_stale_temps(tmp_path) == 2
+    assert corruption_stats()["stale_tmp_removed"] == before + 2
+    assert not dead.exists() and not old_junk.exists()
+    assert mine.exists() and alive.exists() and fresh_junk.exists()
+
+
+def test_crashed_writer_never_corrupts_the_live_entry(tmp_path):
+    """An atomic-write temp file abandoned by a crashed writer sits beside
+    the live entry; opening the store sweeps it and the entry loads
+    intact."""
+    first = _fresh_cache(tmp_path)
+    trace = first.get("Q6", 0, 0)
+    leftover = tmp_path / (trace_filename(_key("Q6")) + f".tmp.{_dead_pid()}")
+    leftover.write_bytes(b"half a trace, interrupted mid-write")
+
+    second = _fresh_cache(tmp_path)   # opening the dir sweeps stale temps
+    assert not leftover.exists()
+    loaded = second.get("Q6", 0, 0)
+    assert second.loads == 1 and second.records == 0
+    assert_traces_equal(loaded, trace)
