@@ -13,6 +13,7 @@ import sys
 
 
 def main():
+    from repro.core import RunConfig
     from repro.core.faults import ENV_VAR
     from repro.core.sweep import (
         SweepPoint, clear_variant_cache, run_sweep, supervisor_stats,
@@ -32,7 +33,8 @@ def main():
     # attempt: the fault still fires once the point actually runs.
     os.environ[ENV_VAR] = "raise@0*2,crash@1,garbage@2*3,hang@3*2"
     try:
-        faulted = run_sweep(points, scale="tiny", jobs=4, point_timeout=10.0)
+        faulted = run_sweep(points, scale="tiny",
+                            config=RunConfig(jobs=4, point_timeout=10.0))
     finally:
         del os.environ[ENV_VAR]
 

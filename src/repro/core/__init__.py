@@ -4,8 +4,17 @@ This is the paper's experimental apparatus (section 4.3): one query per
 simulated processor, statistics recorded for the complete execution stage,
 misses and stall time attributed to the software data structures they land
 on.
+
+This package is the stable API surface: library callers import from
+``repro.core`` (everything in ``__all__``), not from the submodules, whose
+internals may move.  The run-level entry points are :class:`RunConfig`
+(one frozen config object for a whole run), :func:`configure_run` (apply
+it process-wide), and :func:`run_experiments` (the library face of the
+``repro-experiments`` CLI); :class:`~repro.obs.metrics.MetricsRegistry`
+re-exports the observability layer's metric store.
 """
 
+from repro.obs.metrics import MetricsRegistry
 from repro.core.experiment import (
     WorkloadResult,
     clear_caches,
@@ -31,12 +40,25 @@ from repro.core.errors import (
 from repro.core.report import format_table, normalize, percent
 from repro.core.locality import LocalityReport, analyze, analyze_query
 from repro.core.parallel import run_intra_query_workload
+from repro.core.run import (
+    RunConfig,
+    build_run_report,
+    configure_run,
+    current_run_config,
+    run_experiments,
+)
 from repro.core.sweep import (
     SweepPoint, configure_sweep, run_sweep, summarize, supervisor_stats,
 )
 from repro.core.tracecache import QueryTrace, TraceCache
 
 __all__ = [
+    "RunConfig",
+    "build_run_report",
+    "configure_run",
+    "current_run_config",
+    "run_experiments",
+    "MetricsRegistry",
     "CheckpointJournal",
     "CheckpointError",
     "InvalidPointResult",

@@ -32,6 +32,8 @@ import warnings
 import zlib
 
 from repro.core.errors import CheckpointError
+from repro.obs.metrics import registry
+from repro.obs.spans import span
 
 MAGIC = b"RPCJ"
 FORMAT_VERSION = 1
@@ -144,14 +146,18 @@ class CheckpointJournal:
                              separators=(",", ":")).encode()
         record = (_PREFIX.pack(MAGIC, FORMAT_VERSION, len(payload))
                   + payload + _CRC.pack(zlib.crc32(payload)))
-        try:
-            self._fh.write(record)
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-        except (OSError, ValueError) as exc:
-            raise CheckpointError(
-                f"cannot append to checkpoint journal {self.path!r}: {exc}"
-            ) from exc
+        with span("checkpoint-append", bytes=len(record)):
+            try:
+                self._fh.write(record)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"cannot append to checkpoint journal {self.path!r}: {exc}"
+                ) from exc
+        reg = registry()
+        reg.counter("checkpoint.appends").inc()
+        reg.counter("checkpoint.bytes_written").inc(len(record))
         self.entries[canonical_key(key)] = summary
 
     # -- lookup / lifecycle ------------------------------------------------

@@ -9,6 +9,7 @@ inter-query temporal locality experiment (Figure 12) is built.
 
 from repro.core.tracecache import TraceCache
 from repro.db.shmem import shared_home_fn
+from repro.obs.spans import span
 from repro.db.tracing import drain
 from repro.memsim.interleave import Interleaver
 from repro.memsim.numa import NumaMachine
@@ -64,7 +65,8 @@ def workload_database(scale="small", seed=42):
     scale = get_scale(scale)
     key = (scale.name, seed)
     if key not in _DB_CACHE:
-        _DB_CACHE[key] = build_database(sf=scale.sf, seed=seed)
+        with span("dbgen", scale=scale.name, seed=seed):
+            _DB_CACHE[key] = build_database(sf=scale.sf, seed=seed)
     return _DB_CACHE[key]
 
 

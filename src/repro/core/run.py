@@ -1,0 +1,185 @@
+"""The unified run API: one frozen config object, one experiment driver.
+
+Before this module, every run-level knob travelled its own path: the CLI
+called ``set_trace_dir`` here, ``set_strict_store`` there, threaded
+``checkpoint_dir``/``point_timeout``/``retries`` through ``configure_sweep``,
+and passed ``jobs`` positionally into each figure module.  :class:`RunConfig`
+replaces that loose-kwarg threading with a single frozen dataclass built
+once (by the CLI, or by a library caller) and passed whole through
+runner -> sweep -> supervisor:
+
+    >>> from repro.core import RunConfig, run_experiments, configure_run
+    >>> cfg = RunConfig(scale="small", jobs=4, report_out="run.json")
+    >>> configure_run(cfg)
+    >>> outcome = run_experiments(["fig8", "fig9"], cfg)
+
+The legacy keyword arguments of :func:`repro.core.sweep.run_sweep` keep
+working through a thin deprecation shim that warns once per process; the
+underlying process-wide stores (``sweep._SWEEP_DEFAULTS``, the trace-dir
+and strict-store globals) remain the single source of truth, so old-style
+and new-style configuration never diverge.
+"""
+
+import inspect
+import time
+from dataclasses import asdict, dataclass, fields, replace
+
+from repro.obs import enable as _obs_enable
+from repro.obs import events as _events
+from repro.obs.spans import span
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything a run of the experiment harness can be told once.
+
+    Frozen: derive variants with :meth:`with_options` (or
+    ``dataclasses.replace``), never by mutation -- a config handed to a
+    sweep is immutable for the sweep's lifetime.
+
+    ``scale``/``jobs`` select the workload sizing and worker processes;
+    ``trace_dir`` the persistent trace store; ``checkpoint_dir``,
+    ``point_timeout``, ``retries``, ``backoff`` tune the supervised
+    executor; ``strict_store`` makes damaged store entries fatal;
+    ``report_out`` and ``progress`` drive the observability layer
+    (:mod:`repro.obs`).
+    """
+
+    scale: str = "small"
+    jobs: int = 1
+    trace_dir: str = None
+    checkpoint_dir: str = None
+    point_timeout: float = None
+    retries: int = 2
+    backoff: float = 0.05
+    strict_store: bool = False
+    report_out: str = None
+    progress: bool = False
+
+    def as_dict(self):
+        """Plain-dict view (the run report embeds this under ``config``)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a config from :meth:`as_dict` output; unknown keys are
+        ignored (reports from newer writers stay loadable)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def with_options(self, **changes):
+        """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""
+        return replace(self, **changes)
+
+
+#: The last config applied by :func:`configure_run` (CLI-facing fields the
+#: legacy globals do not cover: scale, jobs, report_out, progress).
+_CURRENT = RunConfig()
+
+
+def configure_run(config):
+    """Apply ``config`` to the process: the one call the CLI makes.
+
+    Sets the persistent-trace directory, strict-store mode, the supervised
+    executor's defaults, and switches the observability layer on when the
+    config asks for a report or live progress.  Library callers that want
+    per-call behaviour instead pass a config directly to
+    :func:`repro.core.sweep.run_sweep`.
+    """
+    global _CURRENT
+    from repro.core import tracestore
+    from repro.core.experiment import set_trace_dir
+    from repro.core.sweep import _SWEEP_DEFAULTS
+
+    _CURRENT = config
+    set_trace_dir(config.trace_dir)
+    tracestore.set_strict(config.strict_store)
+    _SWEEP_DEFAULTS.update(
+        checkpoint_dir=config.checkpoint_dir,
+        point_timeout=config.point_timeout,
+        retries=config.retries,
+        backoff=config.backoff,
+    )
+    if config.report_out or config.progress:
+        _obs_enable()
+    return config
+
+
+def current_run_config(**overrides):
+    """The process's effective :class:`RunConfig`, composed from the
+    authoritative per-knob stores (so legacy ``configure_sweep`` /
+    ``set_trace_dir`` calls are reflected), with ``overrides`` applied."""
+    from repro.core import tracestore
+    from repro.core.experiment import get_trace_dir
+    from repro.core.sweep import _SWEEP_DEFAULTS
+
+    cfg = replace(
+        _CURRENT,
+        trace_dir=get_trace_dir(),
+        strict_store=tracestore.get_strict(),
+        checkpoint_dir=_SWEEP_DEFAULTS["checkpoint_dir"],
+        point_timeout=_SWEEP_DEFAULTS["point_timeout"],
+        retries=_SWEEP_DEFAULTS["retries"],
+        backoff=_SWEEP_DEFAULTS["backoff"],
+    )
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def run_experiments(names, config=None, on_result=None):
+    """Run the named experiments under one config; the library face of the
+    ``repro-experiments`` CLI.
+
+    Returns ``{"outcomes": [{"name", "results", "seconds"}, ...],
+    "interrupted": bool}``.  A ``KeyboardInterrupt`` mid-run keeps the
+    completed outcomes and sets ``interrupted`` (completed sweep points
+    are already durable when a checkpoint journal is configured).
+    ``on_result(name, results, seconds)`` is called as each experiment
+    finishes, so callers can render incrementally.
+    """
+    from repro.experiments import REGISTRY
+
+    config = config or current_run_config()
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+
+    outcomes = []
+    interrupted = False
+    try:
+        for name in names:
+            mod = REGISTRY[name]
+            kwargs = {"scale": config.scale}
+            # Sweep-based experiments take a worker count; the others
+            # ignore it.
+            if "jobs" in inspect.signature(mod.run).parameters:
+                kwargs["jobs"] = config.jobs
+            _events.emit("experiment.start", name=name)
+            start = time.time()
+            with span("experiment", name=name, scale=config.scale):
+                results = mod.run(**kwargs)
+            elapsed = time.time() - start
+            _events.emit("experiment.end", name=name, seconds=elapsed)
+            outcomes.append({"name": name, "results": results,
+                             "seconds": elapsed})
+            if on_result is not None:
+                on_result(name, results, elapsed)
+    except KeyboardInterrupt:
+        interrupted = True
+    return {"outcomes": outcomes, "interrupted": interrupted}
+
+
+def build_run_report(config=None, outcomes=(), interrupted=False):
+    """Assemble the structured run report for one :func:`run_experiments`
+    outcome from the live observability state (metrics registry, span
+    tree, recorded events)."""
+    from repro.obs import build_report, events, registry, tracer
+
+    return build_report(
+        config=config or current_run_config(),
+        experiments=[(o["name"], o["results"], o["seconds"])
+                     for o in outcomes],
+        metrics=registry(),
+        spans=tracer().tree(),
+        events=events.recorded(),
+        interrupted=interrupted,
+    )

@@ -41,6 +41,7 @@ garbage at chosen points.
 
 import multiprocessing
 import time
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED, BrokenExecutor, CancelledError, ProcessPoolExecutor,
     wait as _futures_wait,
@@ -51,6 +52,9 @@ from repro.db.shmem import shared_home_fn
 from repro.memsim.events import CLASS_NAMES, DataClass, N_CLASSES
 from repro.memsim.interleave import Interleaver
 from repro.memsim.numa import NumaMachine
+from repro.obs import events as obs_events
+from repro.obs.metrics import registry
+from repro.obs.spans import span
 from repro.tpcd.scales import get_scale
 
 
@@ -118,13 +122,18 @@ _VARIANT_CACHE = {}
 #: immutable: copy before editing.
 _POINT_CACHE = {}
 
-#: Point-memo traffic counters for ``repro-experiments --time``.
-_POINT_STATS = {"hits": 0, "misses": 0}
+#: Bucket bounds (seconds) for the per-point latency histogram.
+_POINT_SECONDS_BUCKETS = (0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+                          60.0, 300.0)
 
 
 def point_memo_stats():
-    """Point-memo observability: hits, misses, and resident summaries."""
-    return dict(_POINT_STATS, cached=len(_POINT_CACHE))
+    """Point-memo observability: hits, misses, and resident summaries
+    (registry counters ``sweep.point.memo_hits`` / ``memo_misses``)."""
+    reg = registry()
+    return {"hits": reg.value("sweep.point.memo_hits"),
+            "misses": reg.value("sweep.point.memo_misses"),
+            "cached": len(_POINT_CACHE)}
 
 
 def _point_cache_key(point, scale, seed):
@@ -150,7 +159,9 @@ def _variant(scale, seed, lock_check_per_rescan):
     key = (scale.name, seed, lock_check_per_rescan)
     if key not in _VARIANT_CACHE:
         def make_db():
-            db = build_database(sf=scale.sf, seed=seed)
+            with span("dbgen", scale=scale.name, seed=seed,
+                      variant="no_lock_check"):
+                db = build_database(sf=scale.sf, seed=seed)
             db.lock_check_per_rescan = False
             return db
 
@@ -214,18 +225,25 @@ def run_point(point, scale, seed=42):
     from repro.core.experiment import WorkloadResult
 
     scale = get_scale(scale)
+    reg = registry()
     ckey = _point_cache_key(point, scale, seed)
     summary = _POINT_CACHE.get(ckey)
     if summary is not None:
-        _POINT_STATS["hits"] += 1
+        reg.counter("sweep.point.memo_hits").inc()
         return summary
-    _POINT_STATS["misses"] += 1
-    traces = _point_traces(point, scale, seed)
-    cfg = scale.machine_config(**point.machine)
-    machine = NumaMachine(cfg, home_fn=_home_fn(point.placement))
-    sink = {}
-    run = Interleaver(machine).run_traces(traces, sink=sink)
-    summary = summarize(WorkloadResult(point.qid, scale, machine, run, sink))
+    reg.counter("sweep.point.memo_misses").inc()
+    t0 = time.perf_counter()
+    with span("sweep-point", key=repr(point.key), qid=point.qid):
+        traces = _point_traces(point, scale, seed)
+        cfg = scale.machine_config(**point.machine)
+        machine = NumaMachine(cfg, home_fn=_home_fn(point.placement))
+        sink = {}
+        with span("replay", qid=point.qid, n_traces=len(traces)):
+            run = Interleaver(machine).run_traces(traces, sink=sink)
+        summary = summarize(WorkloadResult(point.qid, scale, machine, run,
+                                           sink))
+    reg.histogram("sweep.point.seconds", _POINT_SECONDS_BUCKETS).observe(
+        time.perf_counter() - t0)
     _POINT_CACHE[ckey] = summary
     return summary
 
@@ -233,8 +251,10 @@ def run_point(point, scale, seed=42):
 # -- process-pool execution ------------------------------------------------------
 
 #: Process-wide defaults for the supervised executor, set by the
-#: ``repro-experiments`` flags (:func:`configure_sweep`) so the figure
-#: modules need not thread robustness knobs through their signatures.
+#: ``repro-experiments`` flags (via :class:`~repro.core.run.RunConfig` and
+#: :func:`repro.core.run.configure_run`, or the legacy
+#: :func:`configure_sweep`) so the figure modules need not thread
+#: robustness knobs through their signatures.
 _SWEEP_DEFAULTS = {
     "checkpoint_dir": None,   # --checkpoint-dir: journal completed points
     "point_timeout": None,    # --point-timeout: seconds before a point hangs
@@ -242,9 +262,15 @@ _SWEEP_DEFAULTS = {
     "backoff": 0.05,          # base delay; doubles per attempt
 }
 
-#: Supervisor observability for ``repro-experiments --time``.
-_SUP_STATS = {"retries": 0, "timeouts": 0, "respawns": 0, "fallbacks": 0,
-              "garbage": 0, "resumed": 0}
+#: ``supervisor_stats`` key -> registry counter name.
+_SUP_METRICS = {
+    "retries": "sweep.point.retries",
+    "timeouts": "sweep.point.timeouts",
+    "respawns": "sweep.pool.respawns",
+    "fallbacks": "sweep.point.fallbacks",
+    "garbage": "sweep.point.garbage",
+    "resumed": "sweep.point.resumed",
+}
 
 #: Summary dicts must carry these keys to be accepted from a worker.
 _SUMMARY_KEYS = frozenset({
@@ -258,7 +284,10 @@ def configure_sweep(checkpoint_dir=None, point_timeout=None, retries=None,
     """Set process-wide defaults for :func:`run_sweep`'s supervisor.
 
     ``None`` leaves a setting unchanged; explicit ``run_sweep`` arguments
-    still take precedence per call.
+    still take precedence per call.  New code should build a
+    :class:`~repro.core.run.RunConfig` and call
+    :func:`~repro.core.run.configure_run` instead; both write the same
+    process-wide store, so they can be mixed safely.
     """
     for name, value in (("checkpoint_dir", checkpoint_dir),
                         ("point_timeout", point_timeout),
@@ -269,8 +298,14 @@ def configure_sweep(checkpoint_dir=None, point_timeout=None, retries=None,
 
 def supervisor_stats():
     """Recovery-path counters: retries, timeouts, pool respawns, in-process
-    fallbacks, rejected garbage results, and checkpoint-resumed points."""
-    return dict(_SUP_STATS)
+    fallbacks, rejected garbage results, and checkpoint-resumed points
+    (views over the ``sweep.*`` registry counters)."""
+    reg = registry()
+    return {key: reg.value(name) for key, name in _SUP_METRICS.items()}
+
+
+def _sup_count(key):
+    registry().counter(_SUP_METRICS[key]).inc()
 
 
 def _valid_summary(summary):
@@ -337,16 +372,17 @@ def _ship_traces(todo, scale, seed):
     from repro.core.tracestore import encode_trace, store_key
 
     shipped = {}
-    for point in todo:
-        for tkey in _trace_keys(point, scale):
-            if tkey in shipped:
-                continue
-            lock_check, qid, qseed, node, arena = tkey
-            trace_cache = _variant(scale, seed, lock_check)
-            trace = trace_cache.get(qid, qseed, node, arena_size=arena)
-            skey = store_key(scale.name, seed, qid, qseed, node, arena,
-                             lock_check)
-            shipped[tkey] = encode_trace(skey, trace)
+    with span("encode", points=len(todo)):
+        for point in todo:
+            for tkey in _trace_keys(point, scale):
+                if tkey in shipped:
+                    continue
+                lock_check, qid, qseed, node, arena = tkey
+                trace_cache = _variant(scale, seed, lock_check)
+                trace = trace_cache.get(qid, qseed, node, arena_size=arena)
+                skey = store_key(scale.name, seed, qid, qseed, node, arena,
+                                 lock_check)
+                shipped[tkey] = encode_trace(skey, trace)
     return shipped
 
 
@@ -373,27 +409,34 @@ def _point_failure(point, attempts, exc, timeout=False):
         point_key=point.key, qid=point.qid, attempts=attempts, cause=exc)
 
 
-def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
-                    backoff, journal):
+def _run_supervised(todo, scale, seed, config, journal):
     """Run ``todo`` on a supervised ``spawn`` pool; return summaries in
     ``todo`` order.
 
-    Each point is one future; at most ``jobs`` are in flight, submitted in
-    list order (sweeps are built query-major, so neighbouring points share
-    a trace set and a worker's decoded-trace cache stays hot).  Worker
-    failures are retried up to ``retries`` times with exponential backoff;
-    a timeout or a dead worker kills and respawns the pool, re-queueing
-    the collateral in-flight points.  Points that exhaust their worker
-    retries degrade to in-process execution in the parent.
+    ``config`` is the run's :class:`~repro.core.run.RunConfig`, passed
+    whole: the supervisor reads ``jobs``, ``point_timeout``, ``retries``
+    and ``backoff`` from it.  Each point is one future; at most ``jobs``
+    are in flight, submitted in list order (sweeps are built query-major,
+    so neighbouring points share a trace set and a worker's decoded-trace
+    cache stays hot).  Worker failures are retried up to ``retries`` times
+    with exponential backoff; a timeout or a dead worker kills and
+    respawns the pool, re-queueing the collateral in-flight points.
+    Points that exhaust their worker retries degrade to in-process
+    execution in the parent.
     """
     from repro.core.errors import InvalidPointResult, PointTimeout
 
+    point_timeout = config.point_timeout
+    retries = config.retries
+    backoff = config.backoff
     shipped = _ship_traces(todo, scale, seed)
     from repro.core.tracestore import get_strict
 
     ctx = multiprocessing.get_context("spawn")
-    jobs = min(jobs, len(todo))
+    jobs = min(config.jobs, len(todo))
     n = len(todo)
+    point_seconds = registry().histogram("sweep.point.seconds",
+                                         _POINT_SECONDS_BUCKETS)
     results = [None] * n
     attempts = [0] * n
     last_error = [None] * n
@@ -415,12 +458,19 @@ def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
         last_error[i] = exc
         attempts[i] += 1
         if timed_out:
-            _SUP_STATS["timeouts"] += 1
+            _sup_count("timeouts")
+            obs_events.emit("point.timeout", index=i,
+                            key=repr(todo[i].key), attempts=attempts[i])
         if attempts[i] > retries:
             fallback.append(i)
-            _SUP_STATS["fallbacks"] += 1
+            _sup_count("fallbacks")
+            obs_events.emit("point.fallback", index=i,
+                            key=repr(todo[i].key), attempts=attempts[i])
         else:
-            _SUP_STATS["retries"] += 1
+            _sup_count("retries")
+            obs_events.emit("point.retry", index=i, key=repr(todo[i].key),
+                            attempts=attempts[i],
+                            error=type(exc).__name__)
             not_before[i] = time.time() + backoff * (2 ** (attempts[i] - 1))
             pending.append(i)
 
@@ -442,9 +492,12 @@ def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
                 fail(i, exc)
         inflight.clear()
         if pool is not None:
-            _terminate_pool(pool)
+            with span("pool-respawn"):
+                _terminate_pool(pool)
             pool = None
-        _SUP_STATS["respawns"] += 1
+        _sup_count("respawns")
+        obs_events.emit("pool.respawn",
+                        cause=type(exc).__name__ if exc else "timeout")
 
     try:
         while pending or inflight:
@@ -484,7 +537,7 @@ def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
                                     return_when=FIRST_COMPLETED)
             broken = None
             for fut in done:
-                i, _t0 = inflight.pop(fut)
+                i, t0 = inflight.pop(fut)
                 try:
                     summary = fut.result()
                 except (BrokenExecutor, CancelledError) as exc:
@@ -499,9 +552,17 @@ def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
                     fail(i, exc)
                 else:
                     if _valid_summary(summary):
+                        elapsed = time.time() - t0
+                        point_seconds.observe(elapsed)
                         record_checkpoint(i, summary)
+                        obs_events.emit("point.done", index=i,
+                                        key=repr(todo[i].key),
+                                        seconds=round(elapsed, 6),
+                                        attempts=attempts[i] + 1)
                     else:
-                        _SUP_STATS["garbage"] += 1
+                        _sup_count("garbage")
+                        obs_events.emit("point.garbage", index=i,
+                                        key=repr(todo[i].key))
                         fail(i, InvalidPointResult(
                             f"worker returned a non-summary object "
                             f"{type(summary).__name__!r} for point "
@@ -545,66 +606,109 @@ def _run_supervised(todo, scale, seed, jobs, point_timeout, retries,
                 point, attempts[i], exc,
                 timeout=isinstance(worker_exc, PointTimeout)) from exc
         record_checkpoint(i, summary)
+        obs_events.emit("point.done", index=i, key=repr(point.key),
+                        attempts=attempts[i], fallback=True)
     return results
 
 
-def run_sweep(points, scale="small", seed=42, jobs=1, checkpoint_dir=None,
-              point_timeout=None, retries=None, backoff=None):
+#: Legacy ``run_sweep`` keyword arguments now carried by ``RunConfig``.
+_LEGACY_SWEEP_KWARGS = ("checkpoint_dir", "point_timeout", "retries",
+                        "backoff")
+_LEGACY_WARNED = False
+
+
+def _resolve_config(jobs, config, legacy):
+    """The effective :class:`~repro.core.run.RunConfig` for one sweep.
+
+    Precedence: explicit ``config`` argument, else the process-wide
+    configuration; then deprecated loose kwargs (``checkpoint_dir`` etc.,
+    which warn once per process), then an explicit ``jobs``.
+    """
+    global _LEGACY_WARNED
+    from repro.core.run import current_run_config
+
+    bad = set(legacy) - set(_LEGACY_SWEEP_KWARGS)
+    if bad:
+        raise TypeError(
+            f"run_sweep() got unexpected keyword argument(s) {sorted(bad)}")
+    if config is None:
+        config = current_run_config()
+    overrides = {k: v for k, v in legacy.items() if v is not None}
+    if overrides:
+        if not _LEGACY_WARNED:
+            _LEGACY_WARNED = True
+            warnings.warn(
+                "passing checkpoint_dir/point_timeout/retries/backoff to "
+                "run_sweep is deprecated; build a repro.core.RunConfig and "
+                "pass it as config= (or set process defaults with "
+                "configure_run)", DeprecationWarning, stacklevel=3)
+        config = config.with_options(**overrides)
+    if jobs is not None:
+        config = config.with_options(jobs=jobs)
+    return config
+
+
+def run_sweep(points, scale="small", seed=42, jobs=None, config=None,
+              **legacy):
     """Run every sweep point; return ``{point.key: summary}`` in order.
 
-    ``jobs=1`` runs in-process.  ``jobs>1`` fans the points out over a
-    supervised ``spawn`` process pool: the parent prepares every needed
-    trace once (recording, or loading from the persistent store when
-    ``repro-experiments --trace-dir`` configured one) and ships the
-    encoded bytes to the workers, which replay without ever running the
-    database engine.  Results are independent of ``jobs`` -- including
-    under worker crashes, hangs, and retries, which the supervisor
-    absorbs (see :func:`_run_supervised`); a sweep either completes with
-    correct results or raises one typed
-    :class:`~repro.core.errors.SweepError`.
+    ``config`` is a :class:`~repro.core.run.RunConfig` carrying the run's
+    execution knobs (jobs, checkpoint directory, per-point timeout, retry
+    budget, backoff); omitted, the process-wide configuration
+    (:func:`repro.core.run.configure_run`, or the legacy
+    :func:`configure_sweep` defaults) applies.  ``jobs`` overrides the
+    config's worker count -- ``1`` runs in-process, ``>1`` fans the points
+    out over a supervised ``spawn`` process pool: the parent prepares
+    every needed trace once (recording, or loading from the persistent
+    store when one is configured) and ships the encoded bytes to the
+    workers, which replay without ever running the database engine.
+    Results are independent of ``jobs`` -- including under worker crashes,
+    hangs, and retries, which the supervisor absorbs (see
+    :func:`_run_supervised`); a sweep either completes with correct
+    results or raises one typed :class:`~repro.core.errors.SweepError`.
 
-    ``checkpoint_dir`` journals every completed point
+    A configured checkpoint directory journals every completed point
     (:mod:`repro.core.checkpoint`); a re-run loads the journal and
     re-simulates only unfinished points, bit-identically.
-    ``point_timeout`` (seconds), ``retries``, and ``backoff`` tune the
-    supervisor; ``None`` takes the :func:`configure_sweep` defaults.
+
+    The pre-``RunConfig`` keyword arguments (``checkpoint_dir``,
+    ``point_timeout``, ``retries``, ``backoff``) still work through a
+    deprecation shim that warns once per process.
     """
     points = list(points)
     scale = get_scale(scale)
-    if checkpoint_dir is None:
-        checkpoint_dir = _SWEEP_DEFAULTS["checkpoint_dir"]
-    if point_timeout is None:
-        point_timeout = _SWEEP_DEFAULTS["point_timeout"]
-    if retries is None:
-        retries = _SWEEP_DEFAULTS["retries"]
-    if backoff is None:
-        backoff = _SWEEP_DEFAULTS["backoff"]
+    config = _resolve_config(jobs, config, legacy)
 
     journal = None
-    if checkpoint_dir is not None:
+    if config.checkpoint_dir is not None:
         from repro.core.checkpoint import CheckpointJournal
 
-        journal = CheckpointJournal(checkpoint_dir)
+        journal = CheckpointJournal(config.checkpoint_dir)
     try:
         if journal is not None and journal.entries:
             # Resume: journaled summaries seed the point memo, so completed
             # points never reach the pool (or the in-process loop) again.
+            resumed = 0
             for p in points:
                 ckey = _point_cache_key(p, scale, seed)
                 if ckey not in _POINT_CACHE:
                     summary = journal.get(ckey)
                     if summary is not None:
                         _POINT_CACHE[ckey] = summary
-                        _SUP_STATS["resumed"] += 1
+                        _sup_count("resumed")
+                        resumed += 1
+            if resumed:
+                obs_events.emit("points.resumed", count=resumed)
         # Only memo misses go to the pool: a sweep whose points were
         # already simulated (e.g. fig9 right after fig8) answers from the
         # parent's memo without spawning workers.
         todo = [p for p in points
                 if _point_cache_key(p, scale, seed) not in _POINT_CACHE]
-        if jobs > 1 and len(todo) > 1:
-            summaries = _run_supervised(todo, scale, seed, jobs,
-                                        point_timeout, retries, backoff,
-                                        journal)
+        obs_events.emit("sweep.start", total=len(todo), points=len(points),
+                        jobs=config.jobs)
+        t0 = time.perf_counter()
+        if config.jobs > 1 and len(todo) > 1:
+            summaries = _run_supervised(todo, scale, seed, config, journal)
             # Keep the parent's memo warm so a later sweep over the same
             # points (the misses/time figure pairs) is free.
             for p, s in zip(todo, summaries):
@@ -614,9 +718,13 @@ def run_sweep(points, scale="small", seed=42, jobs=1, checkpoint_dir=None,
             ckey = _point_cache_key(p, scale, seed)
             fresh = ckey not in _POINT_CACHE
             summary = run_point(p, scale, seed=seed)
-            if fresh and journal is not None:
-                journal.append(ckey, summary)
+            if fresh:
+                if journal is not None:
+                    journal.append(ckey, summary)
+                obs_events.emit("point.done", key=repr(p.key))
             out[p.key] = summary
+        obs_events.emit("sweep.end", points=len(points),
+                        seconds=round(time.perf_counter() - t0, 6))
         return out
     finally:
         if journal is not None:

@@ -37,6 +37,8 @@ from array import array
 from repro.memsim.events import (
     EV_BUSY, EV_HIT, EV_LOCK_ACQ, EV_LOCK_REL, EV_READ, EV_WRITE,
 )
+from repro.obs.metrics import registry
+from repro.obs.spans import span
 from repro.tpcd.queries import query_instance
 from repro.tpcd.scales import get_scale
 
@@ -297,9 +299,11 @@ class TraceCache:
         if arena_size is None:
             arena_size = self.scale.arena_size
         key = (qid, seed, node, arena_size)
+        reg = registry()
         trace = self._traces.get(key)
         if trace is not None:
             self.hits += 1
+            reg.counter("tracecache.hits").inc()
             return trace
         if self.trace_dir is not None:
             from repro.core.tracestore import load_trace, save_trace
@@ -310,21 +314,28 @@ class TraceCache:
                 trace, nbytes = loaded
                 self.loads += 1
                 self.bytes_read += nbytes
+                reg.counter("tracecache.loads").inc()
+                reg.counter("tracecache.bytes_read").inc(nbytes)
                 self._traces[key] = trace
                 return trace
             trace = self._record(qid, seed, node, arena_size)
             self.records += 1
-            self.bytes_written += save_trace(self.trace_dir, skey, trace)
+            reg.counter("tracecache.records").inc()
+            written = save_trace(self.trace_dir, skey, trace)
+            self.bytes_written += written
+            reg.counter("tracecache.bytes_written").inc(written)
         else:
             trace = self._record(qid, seed, node, arena_size)
             self.records += 1
+            reg.counter("tracecache.records").inc()
         self._traces[key] = trace
         return trace
 
     def _record(self, qid, seed, node, arena_size):
         qi = query_instance(qid, seed=seed)
         backend = self.db.backend(node, arena_size=arena_size)
-        return record(self.db.execute(qi.sql, backend, hints=qi.hints))
+        with span("record", qid=qid, seed=seed, node=node):
+            return record(self.db.execute(qi.sql, backend, hints=qi.hints))
 
     # -- persistence -----------------------------------------------------------
 

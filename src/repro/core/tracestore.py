@@ -47,6 +47,7 @@ import zlib
 from array import array
 
 from repro.core.errors import TraceStoreError, TraceStoreWarning
+from repro.obs.metrics import registry
 
 __all__ = [
     "TraceStoreError", "TraceStoreWarning", "store_key", "trace_filename",
@@ -71,14 +72,13 @@ TMP_MARKER = ".tmp."
 #: Age (seconds) beyond which an unparsable temp file counts as stale.
 STALE_TMP_AGE = 3600.0
 
-#: Per-cause damaged-entry counters (see ``TraceStoreError.cause``), plus
-#: the stale temp files swept when directories are opened.
-_CORRUPTION = {}
-_STALE_REMOVED = 0
-
 #: Strict mode: damaged entries raise instead of falling back to
 #: re-recording.  Set by ``repro-experiments --strict-store``.
 _STRICT = False
+
+#: Metric-name prefix of the per-cause damaged-entry counters
+#: (``tracestore.corrupt.checksum``, ``tracestore.corrupt.truncated``, ...).
+CORRUPT_PREFIX = "tracestore.corrupt"
 
 
 def set_strict(strict):
@@ -93,17 +93,23 @@ def get_strict():
 
 
 def corruption_stats():
-    """Observability for the fallback path: total and per-cause damaged
-    entries seen by this process, plus stale temp files removed."""
+    """Observability for the fallback path, read from the metrics registry:
+    total and per-cause damaged entries seen by this process, stale temp
+    files removed, and *unique* store entries re-recorded after damage
+    (a retried sweep point re-recording the same entry counts once)."""
+    reg = registry()
+    by_cause = {name[len(CORRUPT_PREFIX) + 1:]: metric.value
+                for name, metric in reg.items(CORRUPT_PREFIX)}
     return {
-        "corrupt": sum(_CORRUPTION.values()),
-        "by_cause": dict(_CORRUPTION),
-        "stale_tmp_removed": _STALE_REMOVED,
+        "corrupt": sum(by_cause.values()),
+        "by_cause": by_cause,
+        "stale_tmp_removed": reg.value("tracestore.stale_tmp_removed"),
+        "rerecords": reg.value("tracestore.rerecords"),
     }
 
 
 def _count_damage(exc):
-    _CORRUPTION[exc.cause] = _CORRUPTION.get(exc.cause, 0) + 1
+    registry().counter(f"{CORRUPT_PREFIX}.{exc.cause}").inc()
 
 
 def store_key(scale_name, db_seed, qid, query_seed, node, arena_size,
@@ -286,6 +292,12 @@ def load_trace(directory, key, strict=None):
         _count_damage(exc)
         if _STRICT if strict is None else strict:
             raise
+        # The caller now re-records this entry.  Count re-records per
+        # *unique* stored artifact (the entry's path): a sweep point
+        # retried after a worker crash re-reads and re-records the same
+        # damaged entry once per attempt, but it is still one damaged
+        # artifact in the summary.
+        registry().unique("tracestore.rerecords").add(str(path))
         warnings.warn(f"damaged trace store entry {path}: {exc} "
                       "(falling back to re-recording)",
                       TraceStoreWarning, stacklevel=2)
@@ -334,7 +346,6 @@ def clean_stale_temps(directory, max_age=STALE_TMP_AGE):
     (:class:`~repro.core.tracecache.TraceCache` with a ``trace_dir``).
     Returns the number of files removed.
     """
-    global _STALE_REMOVED
     try:
         names = os.listdir(directory)
     except OSError:
@@ -368,5 +379,6 @@ def clean_stale_temps(directory, max_age=STALE_TMP_AGE):
             removed += 1
         except OSError:
             pass
-    _STALE_REMOVED += removed
+    if removed:
+        registry().counter("tracestore.stale_tmp_removed").inc(removed)
     return removed

@@ -13,13 +13,19 @@ Usage::
         --point-timeout 120 --retries 3     # fault-tolerant paper-scale run
                                             # (Ctrl-C / crash, then re-run:
                                             #  resumes from completed points)
+    repro-experiments fig8 --jobs 4 --report-out run.json --progress
+                                            # structured run report + live
+                                            # sweep progress line
+
+The CLI builds one :class:`repro.core.RunConfig` from its flags, applies it
+with :func:`repro.core.configure_run`, and drives
+:func:`repro.core.run_experiments` -- the same three calls a library user
+makes.
 """
 
 import argparse
-import inspect
 import os
 import sys
-import time
 
 
 def _fmt_bytes(n):
@@ -29,9 +35,7 @@ def _fmt_bytes(n):
         n /= 1024
 
 
-def main(argv=None):
-    from repro.experiments import REGISTRY
-
+def _build_parser():
     parser = argparse.ArgumentParser(
         description="Reproduce the tables and figures of the HPCA 1997 "
                     "DSS memory-performance paper.",
@@ -64,28 +68,26 @@ def main(argv=None):
     parser.add_argument("--strict-store", action="store_true",
                         help="raise on damaged trace-store entries instead "
                              "of re-recording them")
+    parser.add_argument("--report-out", default=None, metavar="FILE",
+                        help="write a schema-versioned JSON run report "
+                             "(config, timings, metrics, phase spans, "
+                             "supervisor events) to FILE; written even when "
+                             "the run is interrupted")
+    parser.add_argument("--progress", action="store_true",
+                        help="live one-line sweep progress on stderr "
+                             "(points done, retries, respawns)")
     parser.add_argument("--time", action="store_true", dest="show_time",
                         help="print wall-clock, cache-traffic, and "
                              "robustness summaries after the reports")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
-    args = parser.parse_args(argv)
+    return parser
 
-    if args.trace_dir:
-        from repro.core.experiment import set_trace_dir
 
-        set_trace_dir(args.trace_dir)
-    if args.strict_store:
-        from repro.core.experiment import set_strict_store
+def main(argv=None):
+    from repro.experiments import REGISTRY
 
-        set_strict_store(True)
-    if (args.checkpoint_dir is not None or args.point_timeout is not None
-            or args.retries is not None):
-        from repro.core.sweep import configure_sweep
-
-        configure_sweep(checkpoint_dir=args.checkpoint_dir,
-                        point_timeout=args.point_timeout,
-                        retries=args.retries)
+    args = _build_parser().parse_args(argv)
 
     if args.list or not args.experiments:
         print("Available experiments:")
@@ -100,64 +102,99 @@ def main(argv=None):
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
 
-    timings = []
-    interrupted = False
+    from repro.core import RunConfig, configure_run, run_experiments
+
+    config = RunConfig(
+        scale=args.scale,
+        jobs=args.jobs,
+        trace_dir=args.trace_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        point_timeout=args.point_timeout,
+        retries=args.retries if args.retries is not None else 2,
+        strict_store=args.strict_store,
+        report_out=args.report_out,
+        progress=args.progress,
+    )
+    configure_run(config)
+
+    progress = None
+    if config.progress:
+        from repro.obs import ProgressReporter
+
+        progress = ProgressReporter(stream=sys.stderr)
+        progress.attach()
+
+    def show(name, results, elapsed):
+        if progress is not None:
+            progress.end_line()
+        print(f"\n{'=' * 72}\n{name}  (scale={config.scale}, "
+              f"{elapsed:.1f}s)\n{'=' * 72}")
+        print(REGISTRY[name].report(results))
+
     try:
-        for name in names:
-            mod = REGISTRY[name]
-            kwargs = {"scale": args.scale}
-            # Sweep-based experiments take a worker count; the others
-            # ignore it.
-            if "jobs" in inspect.signature(mod.run).parameters:
-                kwargs["jobs"] = args.jobs
-            start = time.time()
-            results = mod.run(**kwargs)
-            elapsed = time.time() - start
-            timings.append((name, elapsed))
-            print(f"\n{'=' * 72}\n{name}  (scale={args.scale}, {elapsed:.1f}s)\n{'=' * 72}")
-            print(mod.report(results))
-    except KeyboardInterrupt:
+        outcome = run_experiments(names, config, on_result=show)
+    finally:
+        if progress is not None:
+            progress.detach()
+
+    if outcome["interrupted"]:
         # Completed points are already durable (the checkpoint journal
         # flushes per record); report what finished instead of a traceback.
-        interrupted = True
         print("\ninterrupted"
               + (f" -- completed sweep points are journaled under "
-                 f"{args.checkpoint_dir}; re-run the same command to resume"
-                 if args.checkpoint_dir else ""),
+                 f"{config.checkpoint_dir}; re-run the same command to resume"
+                 if config.checkpoint_dir else ""),
               file=sys.stderr)
 
-    if args.show_time:
-        from repro.core.experiment import trace_cache_stats
-        from repro.core.sweep import point_memo_stats, supervisor_stats
-        from repro.core.tracestore import corruption_stats
+    if config.report_out:
+        from repro.core import build_run_report
+        from repro.obs import write_report
 
-        print(f"\n{'=' * 72}\nTimings  (scale={args.scale}, jobs={args.jobs})"
-              f"\n{'=' * 72}")
-        for name, elapsed in timings:
-            print(f"  {name:8s} {elapsed:8.2f}s")
-        print(f"  {'total':8s} {sum(t for _, t in timings):8.2f}s")
-        tc = trace_cache_stats()
-        pm = point_memo_stats()
-        print(f"  trace cache  hits={tc['hits']} records={tc['records']} "
-              f"loads={tc['loads']} traces={tc['traces']} "
-              f"({_fmt_bytes(tc['bytes'])})")
-        print(f"  trace store  read={_fmt_bytes(tc['bytes_read'])} "
-              f"written={_fmt_bytes(tc['bytes_written'])}"
-              + (f"  dir={args.trace_dir}" if args.trace_dir else ""))
-        cs = corruption_stats()
-        causes = " ".join(f"{cause}={n}"
-                          for cause, n in sorted(cs["by_cause"].items()))
-        print(f"  store health corrupt={cs['corrupt']}"
-              + (f" ({causes})" if causes else "")
-              + f" stale_tmp_removed={cs['stale_tmp_removed']}")
-        print(f"  point memo   hits={pm['hits']} misses={pm['misses']} "
-              f"cached={pm['cached']}")
-        sup = supervisor_stats()
-        print(f"  supervisor   retries={sup['retries']} "
-              f"timeouts={sup['timeouts']} respawns={sup['respawns']} "
-              f"fallbacks={sup['fallbacks']} garbage={sup['garbage']} "
-              f"resumed={sup['resumed']}")
-    return 130 if interrupted else 0
+        report = build_run_report(config, outcome["outcomes"],
+                                  outcome["interrupted"])
+        write_report(config.report_out, report)
+        print(f"run report written to {config.report_out}", file=sys.stderr)
+
+    if args.show_time:
+        _print_timings(config, outcome["outcomes"])
+    return 130 if outcome["interrupted"] else 0
+
+
+def _print_timings(config, outcomes):
+    """The ``--time`` footer: wall-clock plus harness-health counters, all
+    read from the metrics registry through the per-subsystem views."""
+    from repro.core.experiment import trace_cache_stats
+    from repro.core.sweep import point_memo_stats, supervisor_stats
+    from repro.core.tracestore import corruption_stats
+
+    timings = [(o["name"], o["seconds"]) for o in outcomes]
+    print(f"\n{'=' * 72}\nTimings  (scale={config.scale}, "
+          f"jobs={config.jobs})\n{'=' * 72}")
+    for name, elapsed in timings:
+        print(f"  {name:8s} {elapsed:8.2f}s")
+    print(f"  {'total':8s} {sum(t for _, t in timings):8.2f}s")
+    tc = trace_cache_stats()
+    pm = point_memo_stats()
+    print(f"  trace cache  hits={tc['hits']} records={tc['records']} "
+          f"loads={tc['loads']} traces={tc['traces']} "
+          f"({_fmt_bytes(tc['bytes'])})")
+    print(f"  trace store  read={_fmt_bytes(tc['bytes_read'])} "
+          f"written={_fmt_bytes(tc['bytes_written'])}"
+          + (f"  dir={config.trace_dir}" if config.trace_dir else ""))
+    cs = corruption_stats()
+    causes = " ".join(f"{cause}={n}"
+                      for cause, n in sorted(cs["by_cause"].items()))
+    print(f"  store health corrupt={cs['corrupt']}"
+          + (f" ({causes})" if causes else "")
+          + f" stale_tmp_removed={cs['stale_tmp_removed']}"
+          + f" rerecords={cs['rerecords']}")
+    print(f"  point memo   hits={pm['hits']} misses={pm['misses']} "
+          f"cached={pm['cached']}")
+    sup = supervisor_stats()
+    print(f"  supervisor   retries={sup['retries']} "
+          f"timeouts={sup['timeouts']} respawns={sup['respawns']} "
+          f"fallbacks={sup['fallbacks']} garbage={sup['garbage']} "
+          f"resumed={sup['resumed']}")
 
 
 if __name__ == "__main__":

@@ -14,11 +14,31 @@ produces exactly the coherence misses on lock words that the paper observes
 spinning on, or releasing metalocks are accounted as *MSync* time.
 """
 
+from time import perf_counter
+
 from repro.memsim.stats import CpuStats, merge_cpu_stats
+from repro.obs import enabled as _obs_enabled
+from repro.obs.metrics import registry as _registry
 
 #: Internal marker meaning "this stream raised StopIteration"; it can sit in
 #: a ``pending`` slot when the busy-merge look-ahead hits the end of a stream.
 _EXHAUSTED = object()
+
+
+def _note_run(mode, cpu_stats, elapsed):
+    """Record one interleaved run's event volume and dispatch rate.
+
+    Called only when the observability layer is on (``repro.obs.enable``):
+    the dispatch loops themselves are never instrumented -- one clock read
+    at run start and one summary here keep the hot path untouched.
+    """
+    reg = _registry()
+    events = sum(s.events for s in cpu_stats)
+    reg.counter(f"interleave.{mode}.runs").inc()
+    reg.counter(f"interleave.{mode}.events").inc(events)
+    if elapsed > 0:
+        reg.gauge(f"interleave.{mode}.events_per_s").set(
+            round(events / elapsed, 1))
 
 
 class LockProtocolError(RuntimeError):
@@ -77,6 +97,7 @@ class Interleaver:
             )
         if reset_stats:
             machine.reset_stats()
+        t0 = perf_counter() if _obs_enabled() else None
 
         n = len(streams)
         clocks = [0] * n
@@ -244,6 +265,8 @@ class Interleaver:
                     clocks[cpu] = now
                     break
 
+        if t0 is not None:
+            _note_run("run", cpu_stats, perf_counter() - t0)
         return RunResult(machine, cpu_stats)
 
     def run_traces(self, traces, sink=None, reset_stats=False):
@@ -270,6 +293,7 @@ class Interleaver:
             )
         if reset_stats:
             machine.reset_stats()
+        t0 = perf_counter() if _obs_enabled() else None
 
         n = len(traces)
         clocks = [0] * n
@@ -470,4 +494,6 @@ class Interleaver:
             if l1_acc:
                 mstats.l1_reads += l1_acc
 
+        if t0 is not None:
+            _note_run("run_traces", cpu_stats, perf_counter() - t0)
         return RunResult(machine, cpu_stats)

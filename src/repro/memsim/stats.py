@@ -84,6 +84,40 @@ class MachineStats:
                 groups[key][t] += grid[c][t]
         return groups
 
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self):
+        """Plain-dict view of every counter: one key per slot, miss grids
+        as nested lists.  Round-trips exactly through :meth:`from_dict`
+        (and through JSON -- everything is ints and lists), which is how
+        the run report (:mod:`repro.obs.report`) embeds machine counters."""
+        return {
+            "l1_reads": self.l1_reads,
+            "l1_writes": self.l1_writes,
+            "l2_reads": self.l2_reads,
+            "l1_read_misses": [list(row) for row in self.l1_read_misses],
+            "l2_read_misses": [list(row) for row in self.l2_read_misses],
+            "l1_write_misses": self.l1_write_misses,
+            "l2_write_misses": self.l2_write_misses,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_late_cycles": self.prefetch_late_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild stats from :meth:`as_dict` output (missing keys stay
+        zero, unknown keys are ignored -- both directions of version skew
+        are tolerated)."""
+        out = cls()
+        for name in out.__slots__:
+            if name not in data:
+                continue
+            value = data[name]
+            if name in ("l1_read_misses", "l2_read_misses"):
+                value = [list(row) for row in value]
+            setattr(out, name, value)
+        return out
+
 
 class CpuStats:
     """Per-processor time accounting (cycles)."""
@@ -129,11 +163,45 @@ class CpuStats:
             groups[key] += self.mem_by_class[c]
         return groups
 
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self):
+        """Plain-dict view: one key per slot.  Round-trips exactly through
+        :meth:`from_dict` and through JSON (ints and a list of ints)."""
+        return {
+            "busy": self.busy,
+            "msync": self.msync,
+            "mem_by_class": list(self.mem_by_class),
+            "finish_time": self.finish_time,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild stats from :meth:`as_dict` output (missing keys stay
+        zero, unknown keys are ignored)."""
+        out = cls()
+        for name in out.__slots__:
+            if name not in data:
+                continue
+            value = data[name]
+            if name == "mem_by_class":
+                value = list(value)
+            setattr(out, name, value)
+        return out
+
 
 def merge_cpu_stats(stats_list):
-    """Sum a list of :class:`CpuStats` into one aggregate."""
+    """Sum per-processor stats into one aggregate.
+
+    Accepts :class:`CpuStats` instances, :meth:`CpuStats.as_dict` dicts
+    (as found in a run report), or a mix.  An empty list returns a zeroed
+    :class:`CpuStats` -- merging nothing is the identity, not an error.
+    """
     out = CpuStats()
     for s in stats_list:
+        if isinstance(s, dict):
+            s = CpuStats.from_dict(s)
         out.busy += s.busy
         out.msync += s.msync
         out.events += s.events

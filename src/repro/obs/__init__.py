@@ -1,0 +1,76 @@
+"""Unified observability layer: metrics, phase spans, events, run reports.
+
+The reproduction's subject is measurement, and this package turns the same
+lens on the harness itself:
+
+- :mod:`repro.obs.metrics` -- the process-wide :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms, unique counters) that absorbs
+  every ad-hoc ``--time`` counter under hierarchical names;
+- :mod:`repro.obs.spans` -- start/stop phase tracing (``dbgen``,
+  ``record``, ``encode``, ``replay``, ``sweep-point``, ...) with wall and
+  CPU time and parent-child nesting;
+- :mod:`repro.obs.events` -- the supervisor's recovery actions as a live,
+  recordable event stream;
+- :mod:`repro.obs.report` -- the schema-versioned JSON run report
+  (``--report-out``) that CI and benchmark trajectories consume;
+- :mod:`repro.obs.progress` -- the ``--progress`` status line for long
+  sweeps.
+
+Gating: metrics are always on (they replace counters that were always on
+and cost the same dict increments).  Spans, event recording, and progress
+are off by default and switched on by :func:`enable` (the runner does this
+for ``--report-out``/``--progress``); when off, the instrumented code
+paths are no-ops and sweep results are bit-identical either way --
+observability never touches simulation state.
+"""
+
+from repro.obs.metrics import MetricError, MetricsRegistry, registry
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    ReportValidationError,
+    build_report,
+    summary_hash,
+    validate_report,
+    write_report,
+)
+from repro.obs.spans import SpanTracer, span, tracer
+from repro.obs import events
+
+__all__ = [
+    "MetricError",
+    "MetricsRegistry",
+    "registry",
+    "ProgressReporter",
+    "SCHEMA_VERSION",
+    "ReportValidationError",
+    "build_report",
+    "summary_hash",
+    "validate_report",
+    "write_report",
+    "SpanTracer",
+    "span",
+    "tracer",
+    "events",
+    "enable",
+    "disable",
+    "enabled",
+]
+
+
+def enable(record_events=True):
+    """Switch span tracing (and, by default, event recording) on."""
+    tracer().enabled = True
+    if record_events:
+        events.set_recording(True)
+
+
+def disable():
+    """Switch span tracing and event recording off (the default state)."""
+    tracer().enabled = False
+    events.set_recording(False)
+
+
+def enabled():
+    """Whether phase tracing is currently on."""
+    return tracer().enabled

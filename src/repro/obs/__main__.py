@@ -1,0 +1,12 @@
+"""``python -m repro.obs validate report.json`` -- report validation CLI.
+
+Delegates to :func:`repro.obs.report.main`; the package-level entry avoids
+the double-import warning ``python -m repro.obs.report`` prints when the
+package initializer has already loaded the submodule.
+"""
+
+import sys
+
+from repro.obs.report import main
+
+sys.exit(main())

@@ -229,6 +229,25 @@ def test_damaged_load_warns_and_counts(tmp_path):
             == before["by_cause"].get("checksum", 0) + 1)
 
 
+def test_rerecords_count_unique_points_not_attempts(tmp_path):
+    # The old --time accounting counted one re-record per *attempt*: a
+    # damaged entry hit again on retry inflated the total.  The registry
+    # keys re-records by store key, so repeated damage on the same point
+    # counts once while every corruption event still counts.
+    key = _damage_entry(tmp_path)
+    before = corruption_stats()
+    with pytest.warns(TraceStoreWarning):
+        assert load_trace(tmp_path, key) is None
+    # Same damaged point, second attempt (a retried sweep point re-reads
+    # the store before it re-records).
+    _damage_entry(tmp_path)
+    with pytest.warns(TraceStoreWarning):
+        assert load_trace(tmp_path, key) is None
+    after = corruption_stats()
+    assert after["corrupt"] == before["corrupt"] + 2
+    assert after["rerecords"] == before["rerecords"] + 1
+
+
 def test_missing_entry_is_a_silent_miss(tmp_path):
     import warnings
 
