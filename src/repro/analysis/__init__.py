@@ -1,0 +1,37 @@
+"""repro.analysis -- repo-aware static analysis for the simulator.
+
+The paper's numbers rest on bit-exact, deterministic simulation; this
+package encodes the invariants PRs 1-4 verified by hand as machine-checked
+lint rules, run as ``python -m repro.analysis check src/`` (blocking in
+CI) or through the library API below.
+
+Rule families (see each module's docstring for the catalogue):
+
+* ``DET`` -- determinism (:mod:`repro.analysis.rules_det`)
+* ``HOT`` -- hot-loop hygiene in ``# repro: hot`` regions
+  (:mod:`repro.analysis.rules_hot`)
+* ``MP``  -- multiprocessing races / fork safety
+  (:mod:`repro.analysis.rules_mp`)
+* ``API`` -- surface drift vs a recorded baseline
+  (:mod:`repro.analysis.rules_api`)
+
+Findings are silenced either inline (``# repro: allow[RULE] why``) or via
+the committed ``.analysis-baseline.json`` (:mod:`repro.analysis.baseline`).
+"""
+
+from repro.analysis.engine import (CheckResult, analyze_file, check,
+                                   collect_files, rule_catalogue)
+from repro.analysis.model import FileModel, Finding
+from repro.analysis.reporters import json_report, text_report
+
+__all__ = [
+    "CheckResult",
+    "FileModel",
+    "Finding",
+    "analyze_file",
+    "check",
+    "collect_files",
+    "json_report",
+    "rule_catalogue",
+    "text_report",
+]

@@ -1,0 +1,119 @@
+"""CLI: ``python -m repro.analysis <command>``.
+
+Commands
+--------
+check [PATHS...]
+    Analyze the given files/trees (default ``src/``) and print findings.
+    Exit 0 when clean, 1 when new findings remain, 2 on usage error.
+    ``--json`` emits the obs-convention report instead of text;
+    ``--write-baseline`` records the current findings as accepted debt;
+    ``--no-baseline`` shows everything the rules see.
+rules
+    Print the rule catalogue.
+api-baseline --write
+    Re-record the API surface baseline (deliberate surface changes).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import rules_api
+from repro.analysis.engine import check, collect_files, rule_catalogue
+from repro.analysis.reporters import json_report, text_report
+
+
+def _cmd_check(args):
+    result = check(
+        args.paths,
+        jobs=args.jobs,
+        baseline_file=args.baseline,
+        use_baseline=not args.no_baseline,
+        select=args.select.split(",") if args.select else None,
+    )
+    if args.write_baseline:
+        path = args.baseline or baseline_mod.BASELINE_NAME
+        entries = baseline_mod.write(result.findings, path)
+        print(f"wrote {len(entries)} entries to {path} "
+              "(grep 'TODO: justify' and fill in reasons)")
+        return 0
+    if args.json:
+        report = json_report(
+            result.findings, root=result.root,
+            files_checked=result.files_checked, matched=result.matched,
+            suppressed=result.suppressed,
+            rules=[rid for rid, _ in rule_catalogue()])
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(text_report(result.findings, root=result.root,
+                          matched=result.matched,
+                          suppressed=result.suppressed))
+    return 0 if result.ok else 1
+
+
+def _cmd_rules(_args):
+    for rule_id, title in rule_catalogue():
+        print(f"{rule_id:8s} {title}")
+    return 0
+
+
+def _cmd_api_baseline(args):
+    if not args.write:
+        facts = rules_api.load_baseline()
+        if facts is None:
+            print("no API baseline recorded", file=sys.stderr)
+            return 2
+        print(json.dumps(facts, indent=2, sort_keys=True))
+        return 0
+    files = collect_files(args.paths)
+    facts = rules_api.write_baseline(files)
+    print(f"recorded API baseline ({', '.join(sorted(facts))}) "
+          f"at {rules_api.baseline_path()}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-aware static analysis for the simulator.")
+    sub = parser.add_subparsers(dest="command")
+
+    p_check = sub.add_parser("check", help="analyze a tree for findings")
+    p_check.add_argument("paths", nargs="*", default=["src"],
+                         help="files or directories (default: src)")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit an obs-convention JSON report")
+    p_check.add_argument("--baseline", metavar="FILE", default=None,
+                         help="baseline file (default: nearest "
+                              ".analysis-baseline.json above the tree)")
+    p_check.add_argument("--no-baseline", action="store_true",
+                         help="ignore the baseline; show all findings")
+    p_check.add_argument("--write-baseline", action="store_true",
+                         help="record current findings as accepted debt")
+    p_check.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: auto)")
+    p_check.add_argument("--select", default=None, metavar="PREFIXES",
+                         help="comma-separated rule-id prefixes to keep "
+                              "(e.g. DET,MP)")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_rules = sub.add_parser("rules", help="print the rule catalogue")
+    p_rules.set_defaults(func=_cmd_rules)
+
+    p_api = sub.add_parser("api-baseline",
+                           help="show or re-record the API surface baseline")
+    p_api.add_argument("paths", nargs="*", default=["src"])
+    p_api.add_argument("--write", action="store_true",
+                       help="record the current surface as the baseline")
+    p_api.set_defaults(func=_cmd_api_baseline)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Finding baseline: accepted pre-existing findings, committed to the repo.
+
+A baseline entry matches a finding by ``(rule, path, content)`` -- the
+stripped source text of the flagged line -- not by line number, so edits
+elsewhere in a file never invalidate it.  ``path`` is stored relative to
+the baseline file's directory (the repo root in practice) with posix
+separators, so the file is machine-independent.
+
+Matching is one-to-one: each entry absorbs at most ``count`` findings
+(default 1), so a baselined pattern that *multiplies* resurfaces as new
+findings instead of hiding behind the old entry.  Every entry carries a
+``reason`` -- the baseline is a list of justified debts, not a mute
+button; ``--write-baseline`` stamps ``TODO: justify`` on new entries so
+unexplained ones are greppable.
+"""
+
+import json
+import os
+
+BASELINE_NAME = ".analysis-baseline.json"
+
+
+def find_baseline(start_dir):
+    """Walk upward from ``start_dir`` to the nearest baseline file."""
+    d = os.path.abspath(start_dir)
+    while True:
+        candidate = os.path.join(d, BASELINE_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(d)
+        if parent == d:
+            return None
+        d = parent
+
+
+def _rel_posix(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def load(path):
+    """``(entries, root)`` from a baseline file."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return data.get("entries", []), os.path.dirname(os.path.abspath(path))
+
+
+def apply(findings, entries, root):
+    """Split ``findings`` into ``(new, matched)`` against the baseline.
+
+    Each entry matches at most ``count`` findings (one-to-one
+    consumption); unmatched findings stay new.
+    """
+    budget = {}
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["content"])
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    new, matched = [], []
+    for finding in findings:
+        key = (finding.rule, _rel_posix(finding.path, root),
+               finding.content)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    return new, matched
+
+
+def write(findings, path, reasons=None):
+    """Record ``findings`` as the new baseline at ``path``.
+
+    ``reasons`` maps ``(rule, relpath, content)`` to a justification;
+    entries without one get a greppable ``TODO: justify``.  Identical
+    findings collapse into one entry with a ``count``.
+    """
+    root = os.path.dirname(os.path.abspath(path))
+    reasons = reasons or {}
+    grouped = {}
+    for finding in findings:
+        key = (finding.rule, _rel_posix(finding.path, root),
+               finding.content)
+        grouped[key] = grouped.get(key, 0) + 1
+    entries = []
+    for (rule, relpath, content), count in sorted(grouped.items()):
+        entry = {
+            "rule": rule,
+            "path": relpath,
+            "content": content,
+            "reason": reasons.get((rule, relpath, content),
+                                  "TODO: justify"),
+        }
+        if count > 1:
+            entry["count"] = count
+        entries.append(entry)
+    data = {
+        "_comment": (
+            "Accepted pre-existing findings of 'python -m repro.analysis "
+            "check'. Entries match by (rule, path, line content), consume "
+            "one finding each, and must carry a reason. Shrink this file; "
+            "never grow it without a justification."),
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return entries

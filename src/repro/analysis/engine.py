@@ -1,0 +1,186 @@
+"""The analysis engine: file collection, parallel per-file pass, project
+pass, suppression and baseline application.
+
+Per-file rules (DET, HOT, MP002/3) see one :class:`FileModel` at a time
+and run in worker processes when the tree is big enough to pay for the
+pool.  Project rules need the whole program: the per-file pass also
+returns picklable *facts* (the MP001 call-graph fragment) and the file's
+suppression map, and the parent joins them -- the same split the sweep
+engine uses for simulation (workers produce, parent merges).
+
+Everything is deterministic: files sort before dispatch, findings sort
+before reporting, and the worker pass is a pure function of file content,
+so serial and parallel runs produce identical reports.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import rules_api, rules_det, rules_hot, rules_mp
+from repro.analysis.model import FileModel, Finding
+
+FILE_RULES = (list(rules_det.RULES) + list(rules_hot.RULES)
+              + list(rules_mp.FILE_RULES))
+PROJECT_RULES = list(rules_mp.PROJECT_RULES) + list(rules_api.PROJECT_RULES)
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".trace-store", "build", "dist"}
+
+#: Below this many files a pool costs more than it saves.
+_PARALLEL_THRESHOLD = 8
+
+
+def rule_catalogue():
+    """``(id, title)`` for every registered rule, sorted by id."""
+    pairs = [(r.id, r.title) for r in FILE_RULES + PROJECT_RULES]
+    return sorted(pairs)
+
+
+def collect_files(paths):
+    """All ``.py`` files under ``paths``, absolute and sorted."""
+    out = set()
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in _SKIP_DIRS and not d.startswith(".")
+                and not d.endswith(".egg-info"))
+            for name in filenames:
+                if name.endswith(".py"):
+                    out.add(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def analyze_file(path):
+    """The per-file pass: ``(findings, facts, suppressions, n_suppressed)``.
+
+    Pure function of the file's content -- safe to run in a pool worker.
+    Unparseable files yield a single ``PARSE`` finding so a syntax error
+    fails the check instead of silently shrinking its coverage.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        model = FileModel(path, text)
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", None) or 0
+        return ([Finding(rule="PARSE", path=os.path.abspath(path),
+                         line=line, col=0,
+                         message=f"file could not be analyzed: {exc}")],
+                None, {}, 0)
+    findings = []
+    n_suppressed = 0
+    for rule in FILE_RULES:
+        for finding in rule.check(model):
+            if model.is_suppressed(finding):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+    suppressions = {line: sorted(rules)
+                    for line, rules in model.suppressions.items()}
+    return findings, rules_mp.collect_facts(model), suppressions, n_suppressed
+
+
+@dataclass
+class CheckResult:
+    """Everything one check run produced (before rendering)."""
+
+    findings: list = field(default_factory=list)  #: new, sorted
+    matched: int = 0        #: findings absorbed by the baseline
+    suppressed: int = 0     #: findings silenced by inline allows
+    files_checked: int = 0
+    root: str = "."         #: display/baseline-relative root
+    baseline_file: Optional[str] = None
+
+    @property
+    def ok(self):
+        return not self.findings
+
+
+def _project_findings(all_facts, paths, suppressions_by_path):
+    """Run the project rules and apply inline suppressions to them."""
+    findings = []
+    for rule in PROJECT_RULES:
+        if hasattr(rule, "check_project"):
+            findings.extend(rule.check_project(all_facts))
+        elif hasattr(rule, "check_project_paths"):
+            findings.extend(rule.check_project_paths(paths))
+    kept, n_suppressed = [], 0
+    for finding in findings:
+        suppressed = False
+        per_file = suppressions_by_path.get(finding.path, {})
+        for lineno in (finding.line, finding.line - 1):
+            rules = per_file.get(lineno)
+            if rules and (finding.rule in rules or "*" in rules):
+                suppressed = True
+                break
+        if suppressed:
+            n_suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, n_suppressed
+
+
+def check(paths, *, jobs=None, baseline_file=None, use_baseline=True,
+          select=None):
+    """Analyze ``paths`` and return a :class:`CheckResult`.
+
+    ``jobs=None`` picks serial vs pooled automatically; ``select`` keeps
+    only findings whose rule id starts with one of the given prefixes.
+    """
+    files = collect_files(paths)
+    if jobs is None:
+        jobs = 1 if len(files) < _PARALLEL_THRESHOLD \
+            else min(os.cpu_count() or 1, 8)
+
+    findings = []
+    all_facts = []
+    suppressions_by_path = {}
+    n_suppressed = 0
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(analyze_file, files))
+    else:
+        results = [analyze_file(path) for path in files]
+    for path, (file_findings, facts, suppressions, suppressed) in zip(
+            files, results):
+        findings.extend(file_findings)
+        if facts is not None:
+            all_facts.append(facts)
+        suppressions_by_path[os.path.abspath(path)] = suppressions
+        n_suppressed += suppressed
+
+    project, project_suppressed = _project_findings(
+        all_facts, files, suppressions_by_path)
+    findings.extend(project)
+    n_suppressed += project_suppressed
+
+    if select:
+        prefixes = tuple(select)
+        findings = [f for f in findings if f.rule.startswith(prefixes)]
+
+    # Baseline: nearest .analysis-baseline.json above the first path.
+    matched = 0
+    if baseline_file is None and use_baseline and files:
+        baseline_file = baseline_mod.find_baseline(
+            os.path.dirname(files[0]) or ".")
+    root = (os.path.dirname(os.path.abspath(baseline_file))
+            if baseline_file else os.getcwd())
+    if use_baseline and baseline_file and os.path.isfile(baseline_file):
+        entries, base_root = baseline_mod.load(baseline_file)
+        findings, absorbed = baseline_mod.apply(findings, entries, base_root)
+        matched = len(absorbed)
+        root = base_root
+
+    findings.sort(key=lambda f: f.sort_key())
+    return CheckResult(findings=findings, matched=matched,
+                       suppressed=n_suppressed, files_checked=len(files),
+                       root=root, baseline_file=baseline_file)

@@ -1,0 +1,196 @@
+"""Shared data model of the static-analysis pass.
+
+A :class:`FileModel` is one parsed source file plus everything a rule needs
+to judge it: the AST, the raw lines, the ``# repro: allow[RULE]``
+suppression map, the ``# repro: hot`` region markers, and the file's dotted
+module name (derived from the ``__init__.py`` chain, so the checker needs
+no import machinery).  A :class:`Finding` is one rule violation, carrying
+the stripped source line it fired on -- the baseline matches findings by
+``(rule, path, content)``, not by line number, so unrelated edits above a
+baselined site do not invalidate the baseline.
+"""
+
+import ast
+import os
+import re
+from dataclasses import asdict, dataclass
+
+#: Inline suppression: ``# repro: allow[DET002]`` or ``allow[DET002,MP001]``,
+#: optionally followed by a justification.  A suppression applies to
+#: findings on its own line and on the line directly below it, so it can
+#: trail the offending statement or sit on its own line above it.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s*]+)\]")
+
+#: Hot-region marker: ``# repro: hot`` on a loop or ``def`` line (or the
+#: line directly above it) declares the construct's body a hot region.
+_HOT_RE = re.compile(r"#\s*repro:\s*hot\b(?!\S)")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Stripped source text of ``line`` -- the baseline's matching key.
+    content: str = ""
+
+    def as_dict(self):
+        return asdict(self)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+
+def module_name(path):
+    """Dotted module name of ``path``, walked up the ``__init__.py`` chain.
+
+    A file outside any package is its own bare stem; ``__init__.py``
+    itself names the package.
+    """
+    path = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    parts = [] if stem == "__init__" else [stem]
+    d = os.path.dirname(path)
+    while os.path.isfile(os.path.join(d, "__init__.py")):
+        parts.insert(0, os.path.basename(d))
+        parent = os.path.dirname(d)
+        if parent == d:
+            break
+        d = parent
+    return ".".join(parts) or stem
+
+
+def parse_suppressions(lines):
+    """``{line_number: set_of_rule_ids}`` for every allow comment."""
+    out = {}
+    for i, text in enumerate(lines, start=1):
+        m = _ALLOW_RE.search(text)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out.setdefault(i, set()).update(rules)
+    return out
+
+
+def parse_hot_markers(lines):
+    """Line numbers carrying a ``# repro: hot`` marker."""
+    return {i for i, text in enumerate(lines, start=1) if _HOT_RE.search(text)}
+
+
+class FileModel:
+    """One analyzed source file (see module docstring)."""
+
+    def __init__(self, path, text):
+        self.path = os.path.abspath(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.module = module_name(path)
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions = parse_suppressions(self.lines)
+        self.hot_markers = parse_hot_markers(self.lines)
+
+    # -- helpers for rules -------------------------------------------------
+
+    def line_content(self, lineno):
+        """Stripped source text of ``lineno`` (1-based; '' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule, node_or_line, message):
+        """Build a :class:`Finding` anchored at an AST node or line number."""
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 0
+        else:
+            line, col = node_or_line.lineno, node_or_line.col_offset
+        return Finding(rule=rule, path=self.path, line=line, col=col,
+                       message=message, content=self.line_content(line))
+
+    def is_suppressed(self, finding):
+        """Whether an allow comment on the finding's line (or the line
+        above it) names the finding's rule (or ``*``)."""
+        for lineno in (finding.line, finding.line - 1):
+            rules = self.suppressions.get(lineno)
+            if rules and (finding.rule in rules or "*" in rules):
+                return True
+        return False
+
+    def hot_regions(self):
+        """``(node, start_line, end_line)`` for every marked hot construct.
+
+        A marker on the construct's own first line or on the line directly
+        above it counts; ``for``/``while`` loops and function definitions
+        can be marked.
+        """
+        regions = []
+        if not self.hot_markers:
+            return regions
+        kinds = (ast.For, ast.While, ast.FunctionDef, ast.AsyncFunctionDef)
+        for node in ast.walk(self.tree):
+            if isinstance(node, kinds):
+                if (node.lineno in self.hot_markers
+                        or node.lineno - 1 in self.hot_markers):
+                    regions.append((node, node.lineno, node.end_lineno))
+        return regions
+
+
+def dotted_chain(node):
+    """The dotted name of an attribute chain rooted at a plain name.
+
+    ``a.b.c`` -> ``"a.b.c"``; returns ``None`` for anything rooted in a
+    call, subscript, or other non-name expression.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree):
+    """``{local_name: dotted_target}`` for a module's import statements.
+
+    ``import a.b`` binds ``a`` to ``a``; ``import a.b as c`` binds ``c`` to
+    ``a.b``; ``from a.b import c as d`` binds ``d`` to ``a.b.c``.  Relative
+    imports are resolved by the caller (they need the importing module's
+    package); here they keep a leading ``.`` per level.
+    """
+    out = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    out[alias.asname] = alias.name
+                else:
+                    out[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{prefix}.{alias.name}" if prefix else alias.name
+                out[alias.asname or alias.name] = target
+    return out
+
+
+def resolve_relative(target, package):
+    """Resolve a leading-dot import target against the containing package.
+
+    ``package`` is the importing file's package (for ``pkg/__init__.py``
+    the package itself, for ``pkg/mod.py`` still ``pkg``): one leading dot
+    means ``package``, each further dot one level up.
+    """
+    if not target.startswith("."):
+        return target
+    level = len(target) - len(target.lstrip("."))
+    base = package.split(".") if package else []
+    if level > 1:
+        base = base[: max(0, len(base) - (level - 1))]
+    rest = target.lstrip(".")
+    return ".".join(base + ([rest] if rest else []))

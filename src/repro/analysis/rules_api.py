@@ -1,0 +1,197 @@
+"""API: drift detection against a recorded surface baseline.
+
+``repro.core.__all__`` is the compatibility contract downstream scripts
+import against, ``RunConfig`` is the unified run API (PR 4), and the run
+report's ``SCHEMA_VERSION`` is pinned to additive-only evolution.  All
+three can be broken silently by an innocent-looking edit.  This family
+compares the current tree to ``api_baseline.json`` (committed next to
+this module, regenerated with ``python -m repro.analysis api-baseline
+--write``):
+
+API001  a name recorded in the baseline vanished from
+        ``repro.core.__all__`` (export removal = downstream ImportError).
+API002  a recorded ``RunConfig`` field was removed or its annotation
+        changed (field removal/retype = silent config drops for callers
+        passing keywords).
+API003  the run report ``SCHEMA_VERSION`` moved backwards, or changed at
+        all without the baseline being regenerated in the same commit.
+
+Additions are fine and never flagged -- regenerating the baseline when you
+*intend* a surface change is the whole workflow.
+"""
+
+import ast
+import json
+import os
+
+from repro.analysis.model import Finding
+
+BASELINE_NAME = "api_baseline.json"
+
+#: Module-relative file the baseline facts come from, keyed by fact.
+_SOURCES = {
+    "core_all": os.path.join("repro", "core", "__init__.py"),
+    "runconfig_fields": os.path.join("repro", "core", "run.py"),
+    "report_schema_version": os.path.join("repro", "obs", "report.py"),
+}
+
+
+def _find_source(paths, tail):
+    tail = tail.replace("\\", "/")
+    for path in paths:
+        if path.replace("\\", "/").endswith(tail):
+            return path
+    return None
+
+
+def _parse(path):
+    with open(path, encoding="utf-8") as f:
+        return ast.parse(f.read(), filename=path)
+
+
+def extract_api(paths):
+    """The current API surface: ``(facts, locations)``.
+
+    ``facts`` mirrors the baseline JSON; ``locations`` maps each fact key
+    to the ``(path, line)`` its value was read from, for anchoring
+    findings.  Missing source files yield missing keys (the check skips
+    them rather than guessing).
+    """
+    facts = {}
+    locations = {}
+
+    path = _find_source(paths, _SOURCES["core_all"])
+    if path is not None:
+        for node in _parse(path).body:
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in node.targets):
+                names = [elt.value for elt in node.value.elts
+                         if isinstance(elt, ast.Constant)]
+                facts["core_all"] = sorted(names)
+                locations["core_all"] = (path, node.lineno)
+
+    path = _find_source(paths, _SOURCES["runconfig_fields"])
+    if path is not None:
+        for node in _parse(path).body:
+            if isinstance(node, ast.ClassDef) and node.name == "RunConfig":
+                fields = {}
+                for item in node.body:
+                    if isinstance(item, ast.AnnAssign) and isinstance(
+                            item.target, ast.Name):
+                        fields[item.target.id] = ast.unparse(item.annotation)
+                facts["runconfig_fields"] = fields
+                locations["runconfig_fields"] = (path, node.lineno)
+
+    path = _find_source(paths, _SOURCES["report_schema_version"])
+    if path is not None:
+        for node in _parse(path).body:
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "SCHEMA_VERSION"
+                    for t in node.targets):
+                if isinstance(node.value, ast.Constant):
+                    facts["report_schema_version"] = node.value.value
+                    locations["report_schema_version"] = (path, node.lineno)
+
+    return facts, locations
+
+
+def baseline_path():
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        BASELINE_NAME)
+
+
+def load_baseline(path=None):
+    path = path or baseline_path()
+    if not os.path.isfile(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def write_baseline(paths, path=None):
+    """Record the current surface as the new baseline; returns the facts."""
+    facts, _locations = extract_api(paths)
+    out = dict(facts, _comment=(
+        "Recorded API surface. Regenerate deliberately with "
+        "'python -m repro.analysis api-baseline --write' when a surface "
+        "change is intended; the API rules flag any removal or retype "
+        "relative to this file."))
+    path = path or baseline_path()
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return facts
+
+
+class ApiDriftRule:
+    """API001-003 -- a project rule over the analyzed file list."""
+
+    id = "API"
+    title = "API surface drift vs recorded baseline"
+
+    def check_project_paths(self, paths):
+        baseline = load_baseline()
+        if baseline is None:
+            return []
+        facts, locations = extract_api(paths)
+        out = []
+
+        def anchor(key):
+            path, line = locations.get(key, ("<api-baseline>", 0))
+            return path, line
+
+        if "core_all" in baseline and "core_all" in facts:
+            removed = sorted(set(baseline["core_all"])
+                             - set(facts["core_all"]))
+            path, line = anchor("core_all")
+            for name in removed:
+                out.append(Finding(
+                    rule="API001", path=path, line=line, col=0,
+                    message=(f"'{name}' was removed from repro.core."
+                             "__all__; downstream imports break -- restore "
+                             "it or regenerate the API baseline if the "
+                             "removal is intended"),
+                    content=f"__all__ -= {name}"))
+
+        if "runconfig_fields" in baseline and "runconfig_fields" in facts:
+            old = baseline["runconfig_fields"]
+            new = facts["runconfig_fields"]
+            path, line = anchor("runconfig_fields")
+            for name in sorted(set(old) - set(new)):
+                out.append(Finding(
+                    rule="API002", path=path, line=line, col=0,
+                    message=(f"RunConfig field '{name}' was removed; "
+                             "callers passing it as a keyword break -- "
+                             "restore it or regenerate the API baseline"),
+                    content=f"RunConfig -= {name}"))
+            for name in sorted(set(old) & set(new)):
+                if old[name] != new[name]:
+                    out.append(Finding(
+                        rule="API002", path=path, line=line, col=0,
+                        message=(f"RunConfig field '{name}' changed type "
+                                 f"({old[name]} -> {new[name]}); "
+                                 "regenerate the API baseline if intended"),
+                        content=f"RunConfig {name}: {new[name]}"))
+
+        if "report_schema_version" in baseline \
+                and "report_schema_version" in facts:
+            old_v = baseline["report_schema_version"]
+            new_v = facts["report_schema_version"]
+            if new_v != old_v:
+                path, line = anchor("report_schema_version")
+                direction = ("moved backwards" if new_v < old_v
+                             else "changed without a baseline update")
+                out.append(Finding(
+                    rule="API003", path=path, line=line, col=0,
+                    message=(f"run-report SCHEMA_VERSION {direction} "
+                             f"({old_v} -> {new_v}); the schema evolves "
+                             "additively -- bump deliberately and "
+                             "regenerate the API baseline in the same "
+                             "commit"),
+                    content=f"SCHEMA_VERSION = {new_v}"))
+
+        return out
+
+
+PROJECT_RULES = [ApiDriftRule()]

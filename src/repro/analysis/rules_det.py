@@ -1,0 +1,260 @@
+"""DET: determinism lint.
+
+The paper's results rest on bit-exact simulation: the same sweep must hash
+identically whether it ran serially, on four workers, or resumed from a
+checkpoint (PRs 1-4 each prove this by hand).  Nondeterminism sneaks in
+through a small set of well-known doors, and these rules bolt them:
+
+DET001
+    The process-global ``random`` module (or an unseeded ``Random()``):
+    results then depend on call order across the whole process.  The
+    sanctioned idiom is a locally seeded ``random.Random(seed)``
+    (see ``repro.tpcd.queries``).
+DET002
+    Wall-clock reads (``time.time``, ``datetime.now``...): anything they
+    feed differs run to run.  Monotonic clocks (``perf_counter``,
+    ``monotonic``) are exempt -- timing *measurement* is fine; timing
+    *data* is not.
+DET003
+    Ambient entropy: ``os.urandom``, ``uuid.uuid4``, ``secrets``.
+DET004
+    Object identity: ``id()`` is allocation-order-dependent and builtin
+    ``hash()`` on strings varies per process (``PYTHONHASHSEED``), so
+    neither may feed hashed or ordered results.  Content hashes go through
+    ``hashlib`` (see ``repro.obs.report.summary_hash``).
+DET005
+    Iterating a set (or materializing one into a sequence) feeds
+    hash-order into whatever consumes the loop.  Wrap the set in
+    ``sorted()`` first.
+
+Scope: the simulation and experiment layers (``repro/memsim/``,
+``repro/core/``, ``repro/experiments/``) -- the observability layer
+(``repro.obs``) legitimately reads wall clocks for report timestamps, and
+``repro.tpcd`` owns the seeded RNG idiom the rules point at.
+"""
+
+import ast
+
+from repro.analysis.model import dotted_chain, import_map
+
+#: Path fragments (posix) a file must contain for the DET rules to apply.
+DET_SCOPE = ("repro/memsim/", "repro/core/", "repro/experiments/")
+
+#: Module-global RNG entry points that are fine: seeding/instantiating.
+_RANDOM_OK = {"random.Random", "random.SystemRandom", "random.seed",
+              "random.getstate", "random.setstate"}
+
+_WALL_CLOCKS = {
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "os.getrandbits"}
+_ENTROPY_MODULES = ("secrets",)
+
+
+def _in_scope(model):
+    path = model.path.replace("\\", "/")
+    return any(fragment in path for fragment in DET_SCOPE)
+
+
+def _resolved_calls(model):
+    """Yield ``(node, resolved_dotted_name)`` for every call in the file.
+
+    A call's function expression is resolved through the module's imports:
+    ``from time import time; time()`` resolves to ``time.time``, and
+    ``import time; time.time()`` does too.
+    """
+    imports = import_map(model.tree)
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if chain is None:
+            continue
+        root, _, rest = chain.partition(".")
+        target = imports.get(root)
+        if target is None:
+            resolved = chain
+        else:
+            resolved = f"{target}.{rest}" if rest else target
+        yield node, resolved
+
+
+class UnseededRandomRule:
+    id = "DET001"
+    title = "process-global or unseeded RNG"
+    scope = DET_SCOPE
+
+    def check(self, model):
+        if not _in_scope(model):
+            return []
+        out = []
+        for node, resolved in _resolved_calls(model):
+            if resolved in ("random.Random", "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    out.append(model.finding(
+                        self.id, node,
+                        f"{resolved}() without a seed draws entropy from "
+                        "the OS; pass an explicit seed"))
+            elif resolved in _RANDOM_OK:
+                continue
+            elif (resolved.startswith("random.")
+                  and resolved.count(".") == 1):
+                out.append(model.finding(
+                    self.id, node,
+                    f"{resolved}() uses the process-global RNG (results "
+                    "depend on call order); use a locally seeded "
+                    "random.Random(seed)"))
+            elif resolved.startswith("numpy.random."):
+                out.append(model.finding(
+                    self.id, node,
+                    f"{resolved}() uses numpy's global RNG; use "
+                    "numpy.random.default_rng(seed)"))
+        return out
+
+
+class WallClockRule:
+    id = "DET002"
+    title = "wall-clock read in the deterministic core"
+    scope = DET_SCOPE
+
+    def check(self, model):
+        if not _in_scope(model):
+            return []
+        out = []
+        for node, resolved in _resolved_calls(model):
+            if resolved in _WALL_CLOCKS:
+                out.append(model.finding(
+                    self.id, node,
+                    f"{resolved}() reads the wall clock; simulated results "
+                    "must not depend on it (use time.monotonic/perf_counter "
+                    "for durations, or keep the value out of results)"))
+        return out
+
+
+class AmbientEntropyRule:
+    id = "DET003"
+    title = "ambient entropy source"
+    scope = DET_SCOPE
+
+    def check(self, model):
+        if not _in_scope(model):
+            return []
+        out = []
+        for node, resolved in _resolved_calls(model):
+            if (resolved in _ENTROPY
+                    or resolved.split(".")[0] in _ENTROPY_MODULES):
+                out.append(model.finding(
+                    self.id, node,
+                    f"{resolved}() is an ambient entropy source; derive "
+                    "identifiers from seeds or content hashes instead"))
+        return out
+
+
+class ObjectIdentityRule:
+    id = "DET004"
+    title = "object identity / salted hash in results"
+    scope = DET_SCOPE
+
+    def check(self, model):
+        if not _in_scope(model):
+            return []
+        out = []
+        for node in ast.walk(model.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)):
+                continue
+            if node.func.id == "id" and len(node.args) == 1:
+                out.append(model.finding(
+                    self.id, node,
+                    "id() is allocation-order-dependent; key on stable "
+                    "identity (a name, a tuple of fields) instead"))
+            elif node.func.id == "hash" and len(node.args) == 1:
+                out.append(model.finding(
+                    self.id, node,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); use hashlib for stable hashes"))
+        return out
+
+
+class SetIterationRule:
+    id = "DET005"
+    title = "set iteration feeding ordered output"
+    scope = DET_SCOPE
+
+    #: Wrappers that impose a deterministic order (or discard it).
+    _ORDERING = {"sorted", "len", "sum", "min", "max", "any", "all",
+                 "frozenset", "set"}
+    #: Wrappers that materialize iteration order into a sequence.
+    _MATERIALIZERS = {"list", "tuple", "enumerate"}
+
+    def check(self, model):
+        if not _in_scope(model):
+            return []
+        out = []
+        for scope_node in ast.walk(model.tree):
+            if isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                       ast.Module)):
+                out.extend(self._check_scope(model, scope_node))
+        return out
+
+    def _is_set_expr(self, node, tainted):
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_set_expr(node.left, tainted)
+                    or self._is_set_expr(node.right, tainted))
+        return False
+
+    def _check_scope(self, model, scope_node):
+        body = (scope_node.body if isinstance(scope_node, ast.Module)
+                else scope_node.body)
+        # Names bound to set expressions directly in this scope.
+        tainted = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and node is not scope_node:
+                    break
+                if isinstance(node, ast.Assign) and self._is_set_expr(
+                        node.value, tainted):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tainted.add(target.id)
+        out = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                iters = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Name)
+                      and node.func.id in self._MATERIALIZERS and node.args):
+                    iters.append(node.args[0])
+                for it in iters:
+                    if isinstance(it, ast.Call) and isinstance(
+                            it.func, ast.Name) \
+                            and it.func.id in self._ORDERING:
+                        continue
+                    if self._is_set_expr(it, tainted):
+                        out.append(model.finding(
+                            self.id, node,
+                            "iterating a set feeds hash order into the "
+                            "result; wrap it in sorted() first"))
+        return out
+
+
+RULES = [UnseededRandomRule(), WallClockRule(), AmbientEntropyRule(),
+         ObjectIdentityRule(), SetIterationRule()]

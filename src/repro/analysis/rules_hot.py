@@ -1,0 +1,233 @@
+"""HOT: hot-loop lint.
+
+The interleaved dispatch loops in ``repro.memsim`` process one event per
+simulated cycle across every CPU of every run in a sweep -- they dominate
+wall-clock time, and PR 1's trace-replay work got its speedup precisely by
+keeping them allocation-free and local-variable-bound.  A region opts in
+with ``# repro: hot`` on (or directly above) a ``for``/``while``/``def``
+line; inside it:
+
+HOT001
+    No allocating displays: list/dict/set literals, comprehensions,
+    generator expressions, f-strings/``str.format``, or ``%``-formatting.
+    Tuples are exempt (CPython free-lists them, and the hot paths key
+    dicts with them); so is anything under ``raise``/``assert`` -- error
+    paths are cold by definition -- and anything under a sanitizer gate
+    (``if _sanitize:`` or similar), which is the escape hatch the runtime
+    sanitizer uses.
+HOT002
+    No closure creation: ``lambda`` or nested ``def`` inside the region
+    allocates a function object per iteration.
+HOT003
+    No repeated attribute chains: the same ``a.b`` (or deeper) chain
+    loaded :data:`ATTR_THRESHOLD` or more times in one region means a
+    missing ``x = obj.attr`` hoist.  Chains whose root is itself assigned
+    inside the region are exempt (the root changes, so there is nothing
+    to hoist).
+HOT004
+    No ``try``/``except`` inside the region: CPython pushes a handler
+    block per entry, and the sanctioned pattern is hoisting the try
+    around the loop (see ``interleave.run``).
+
+The rules fire only inside marked regions, so the lint is opt-in per
+loop and silent everywhere else.
+"""
+
+import ast
+
+from repro.analysis.model import dotted_chain
+
+#: HOT003 fires at this many loads of the same attribute chain in one
+#: region.  Three is deliberate headroom: mutually exclusive branches can
+#: legitimately repeat a chain once per arm (numa.write loads
+#: ``self.lat_2hop`` three times across its branches).
+ATTR_THRESHOLD = 4
+
+#: ``if <gate>:`` guards whose body the lint skips entirely -- the runtime
+#: sanitizer's hook point inside hot loops.
+_SANITIZE_GATE = ("sanitize", "sanitise")
+
+
+def _is_sanitizer_gate(node):
+    """Whether ``node`` is an ``if`` whose test names the sanitizer flag."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        test = test.operand
+    chain = dotted_chain(test)
+    if chain is None:
+        return False
+    tail = chain.rsplit(".", 1)[-1].lower()
+    return any(gate in tail for gate in _SANITIZE_GATE)
+
+
+def _iter_region(node, *, skip_cold=True):
+    """Walk a hot region's body, skipping cold subtrees.
+
+    Cold subtrees: ``raise`` and ``assert`` statements (error paths),
+    sanitizer-gated ``if`` bodies, and nested function definitions (HOT002
+    reports the def itself; its body is a separate scope).
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if skip_cold and isinstance(child, (ast.Raise, ast.Assert)):
+            continue
+        if skip_cold and _is_sanitizer_gate(child):
+            # The test expression is still hot (it's evaluated every
+            # iteration); only the guarded body is cold.
+            stack.append(child.test)
+            stack.extend(child.orelse)
+            continue
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class HotAllocationRule:
+    id = "HOT001"
+    title = "allocation inside a hot region"
+
+    _DISPLAYS = {
+        ast.List: "list literal",
+        ast.Dict: "dict literal",
+        ast.Set: "set literal",
+        ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+        ast.GeneratorExp: "generator expression",
+        ast.JoinedStr: "f-string",
+    }
+
+    def check(self, model):
+        out = []
+        for region, _start, _end in model.hot_regions():
+            for node in _iter_region(region):
+                kind = self._DISPLAYS.get(type(node))
+                if kind is not None:
+                    out.append(model.finding(
+                        self.id, node,
+                        f"{kind} allocates every iteration; hoist it out "
+                        "of the hot region or use a preallocated buffer"))
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Attribute)
+                      and node.func.attr == "format"):
+                    out.append(model.finding(
+                        self.id, node,
+                        "str.format() allocates every iteration; format "
+                        "outside the hot region"))
+                elif (isinstance(node, ast.BinOp)
+                      and isinstance(node.op, ast.Mod)
+                      and isinstance(node.left, (ast.Constant, ast.JoinedStr))
+                      and isinstance(getattr(node.left, "value", None), str)):
+                    out.append(model.finding(
+                        self.id, node,
+                        "%-formatting allocates every iteration; format "
+                        "outside the hot region"))
+        return out
+
+
+class HotClosureRule:
+    id = "HOT002"
+    title = "closure created inside a hot region"
+
+    def check(self, model):
+        out = []
+        for region, _start, _end in model.hot_regions():
+            for node in _iter_region(region):
+                if isinstance(node, ast.Lambda):
+                    out.append(model.finding(
+                        self.id, node,
+                        "lambda builds a function object per iteration; "
+                        "define it once outside the hot region"))
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    out.append(model.finding(
+                        self.id, node,
+                        f"nested def '{node.name}' builds a function "
+                        "object per iteration; define it once outside "
+                        "the hot region"))
+        return out
+
+
+class HotAttrReLookupRule:
+    id = "HOT003"
+    title = "repeated attribute chain inside a hot region"
+
+    def check(self, model):
+        out = []
+        for region, _start, _end in model.hot_regions():
+            # Roots rebound inside the region: their chains change value,
+            # so repeated loads are not hoistable.
+            rebound = set()
+            for node in _iter_region(region, skip_cold=False):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.For)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for t in targets:
+                        for leaf in ast.walk(t):
+                            if isinstance(leaf, ast.Name):
+                                rebound.add(leaf.id)
+            # One expression ``a.b.c`` is one *outermost* attribute node
+            # but performs a lookup of every prefix (a.b, then a.b.c), so
+            # prefixes are counted individually.
+            attrs = [node for node in _iter_region(region)
+                     if isinstance(node, ast.Attribute)
+                     and isinstance(node.ctx, ast.Load)]
+            nested = set()
+            for node in attrs:
+                value = node.value
+                while isinstance(value, ast.Attribute):
+                    nested.add(id(value))
+                    value = value.value
+            counts = {}
+            for node in attrs:
+                if id(node) in nested:
+                    continue
+                chain = dotted_chain(node)
+                if chain is None or chain.split(".")[0] in rebound:
+                    continue
+                parts = chain.split(".")
+                for k in range(2, len(parts) + 1):
+                    counts.setdefault(".".join(parts[:k]), []).append(node)
+            for chain, nodes in sorted(counts.items()):
+                if len(nodes) < ATTR_THRESHOLD:
+                    continue
+                # Prefer the most specific chain: skip when an extension
+                # accounts for the same loads (report a.b.c, not a.b).
+                if any(other.startswith(chain + ".")
+                       and len(counts[other]) == len(nodes)
+                       for other in counts):
+                    continue
+                first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+                out.append(model.finding(
+                    self.id, first,
+                    f"'{chain}' is looked up {len(nodes)} times in this "
+                    "hot region; hoist it into a local before the loop"))
+        return out
+
+
+class HotTryExceptRule:
+    id = "HOT004"
+    title = "try/except inside a hot region"
+
+    def check(self, model):
+        out = []
+        kinds = (ast.Try,) + ((ast.TryStar,) if hasattr(ast, "TryStar")
+                              else ())
+        for region, _start, _end in model.hot_regions():
+            for node in _iter_region(region):
+                if isinstance(node, kinds):
+                    out.append(model.finding(
+                        self.id, node,
+                        "try/except pushes a handler block every "
+                        "iteration; hoist the try around the hot region "
+                        "(see interleave.run's StopIteration hoist)"))
+        return out
+
+
+RULES = [HotAllocationRule(), HotClosureRule(), HotAttrReLookupRule(),
+         HotTryExceptRule()]

@@ -1,0 +1,430 @@
+"""MP: multiprocessing race / fork-safety lint.
+
+The sweep engine (``repro.core.sweep``) runs points in spawned worker
+processes.  Spawn semantics make two classes of bug easy to write and
+hard to see:
+
+MP001 (project rule)
+    A function reachable from a pool entry point writes module-level
+    mutable state.  Each worker has its own copy of the module, so the
+    write silently diverges from the parent -- results that "work" serially
+    drop data under ``--jobs N``.  The sanctioned channel for
+    worker-to-parent state is the metrics registry merge path
+    (``repro.obs.metrics``), which this rule exempts.  Entry points are
+    discovered structurally -- every ``ProcessPoolExecutor(initializer=F)``
+    and ``pool.submit(F, ...)`` site in the analyzed tree -- so new pool
+    uses are covered without registration.
+MP002 (file rule)
+    A lambda or locally-defined function handed to ``submit``/
+    ``initializer``: spawn pickles the callable by qualified name, so
+    locals and lambdas fail (or worse, resolve to a stale module-level
+    name).  Pool callables must be module-level functions.
+MP003 (file rule)
+    A ``".tmp"`` temp-path built without a per-process discriminator
+    (``os.getpid``/``uuid``/``mkstemp``...): two workers writing the same
+    temp name race on rename.  ``tracestore.save_trace`` shows the
+    sanctioned shape: ``path + f".tmp.{os.getpid()}"``.
+
+MP001 needs the whole program, so fact collection is split from
+judgement: :func:`collect_facts` runs per file (in the parallel workers)
+and returns a picklable summary -- the call graph fragment, global writes,
+pool entry points; :class:`WorkerGlobalWriteRule` then joins the
+fragments in the parent and walks reachability.
+"""
+
+import ast
+import os
+
+from repro.analysis.model import (Finding, dotted_chain, import_map,
+                                  resolve_relative)
+
+#: The sanctioned cross-process state channel: anything in these modules
+#: may write its own globals (the registry is merged explicitly).
+MERGE_PATH_MODULES = ("repro.obs.metrics",)
+
+#: Mutating method names that count as writes to a mutable global.
+_MUTATORS = {"append", "add", "update", "setdefault", "extend", "insert",
+             "pop", "popitem", "remove", "discard", "clear", "appendleft"}
+
+#: A temp path is considered guarded if the statement building it also
+#: mentions one of these.
+_TMP_GUARDS = {"getpid", "uuid1", "uuid4", "mkstemp", "mkdtemp",
+               "NamedTemporaryFile", "TemporaryDirectory", "token_hex"}
+
+
+def _package_of(model):
+    """The package a file's relative imports resolve against."""
+    if os.path.basename(model.path) == "__init__.py":
+        return model.module
+    return model.module.rsplit(".", 1)[0] if "." in model.module else ""
+
+
+class _Resolver:
+    """Resolve a name/attribute chain to a fully-qualified dotted name."""
+
+    def __init__(self, model):
+        self.module = model.module
+        self.package = _package_of(model)
+        self.imports = import_map(model.tree)
+        self.local_defs = {
+            node.name for node in model.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))
+        }
+
+    def qualify(self, chain):
+        """Fully qualify ``chain`` or return ``None`` if unresolvable."""
+        if chain is None:
+            return None
+        root, _, rest = chain.partition(".")
+        target = self.imports.get(root)
+        if target is not None:
+            resolved = resolve_relative(target, self.package)
+            return f"{resolved}.{rest}" if rest else resolved
+        if root in self.local_defs:
+            return f"{self.module}.{chain}"
+        return None
+
+
+def _mutable_globals(tree):
+    """Module-level names bound to mutable containers."""
+    mutable = set()
+    ctors = {"dict", "list", "set", "deque", "defaultdict", "OrderedDict",
+             "Counter", "bytearray"}
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        value = node.value
+        is_mutable = isinstance(value, (ast.Dict, ast.List, ast.Set,
+                                        ast.DictComp, ast.ListComp,
+                                        ast.SetComp))
+        if isinstance(value, ast.Call):
+            chain = dotted_chain(value.func)
+            if chain and chain.rsplit(".", 1)[-1] in ctors:
+                is_mutable = True
+        if is_mutable:
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    mutable.add(t.id)
+    return mutable
+
+
+def _binding_names(target):
+    """Names a target actually binds -- descends destructuring only.
+
+    ``x[k] = v`` and ``x.a = v`` bind nothing (they *mutate* ``x``), so
+    subscript/attribute targets are deliberately not descended.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _binding_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _function_writes(func, mutable_globals, lines):
+    """Global writes inside ``func``: ``(global_name, line, content)``."""
+    declared = set()
+    locals_ = set(a.arg for a in func.args.args + func.args.kwonlyargs
+                  + func.args.posonlyargs)
+    if func.args.vararg:
+        locals_.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        locals_.add(func.args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.For)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                locals_.update(_binding_names(t))
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    locals_.update(_binding_names(item.optional_vars))
+        elif isinstance(node, ast.NamedExpr):
+            locals_.update(_binding_names(node.target))
+
+    def content(lineno):
+        return lines[lineno - 1].strip() if 1 <= lineno <= len(lines) else ""
+
+    writes = []
+    for node in ast.walk(func):
+        # Rebinding a declared-global name.
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id in declared:
+                    writes.append((t.id, node.lineno, content(node.lineno)))
+                elif isinstance(t, ast.Subscript) and isinstance(
+                        t.value, ast.Name):
+                    name = t.value.id
+                    if name in mutable_globals and name not in locals_ \
+                            or name in declared:
+                        writes.append((name, node.lineno,
+                                       content(node.lineno)))
+        # Mutating-method call on a module-level container.
+        elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS and isinstance(
+                    node.func.value, ast.Name):
+                name = node.func.value.id
+                if (name in mutable_globals or name in declared) \
+                        and name not in locals_:
+                    writes.append((name, node.lineno, content(node.lineno)))
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript) and isinstance(
+                        t.value, ast.Name):
+                    name = t.value.id
+                    if (name in mutable_globals or name in declared) \
+                            and name not in locals_:
+                        writes.append((name, node.lineno,
+                                       content(node.lineno)))
+    return writes
+
+
+def _function_calls(func, resolver, class_name):
+    """Qualified call targets and instantiated classes inside ``func``."""
+    calls = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if chain is None:
+            continue
+        if class_name and chain.startswith("self."):
+            calls.add(f"{resolver.module}.{class_name}."
+                      f"{chain.split('.', 1)[1]}")
+            continue
+        qualified = resolver.qualify(chain)
+        if qualified is not None:
+            calls.add(qualified)
+    return calls
+
+
+def collect_facts(model):
+    """The file's MP001 call-graph fragment (picklable)."""
+    resolver = _Resolver(model)
+    mutable = _mutable_globals(model.tree)
+    functions = {}
+
+    def visit_function(func, qualname, class_name):
+        writes = _function_writes(func, mutable, model.lines)
+        calls = _function_calls(func, resolver, class_name)
+        # A nested def's behavior belongs to its parent: merge it up.
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not func:
+                writes.extend(_function_writes(node, mutable, model.lines))
+                calls.update(_function_calls(node, resolver, class_name))
+        functions[f"{model.module}.{qualname}"] = {
+            "line": func.lineno,
+            "writes": writes,
+            "calls": sorted(calls),
+        }
+
+    for node in model.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit_function(node, node.name, None)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit_function(item, f"{node.name}.{item.name}",
+                                   node.name)
+
+    # Pool entry points: initializer= and submit() sites.
+    entries = []
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if chain is not None:
+            qualified = resolver.qualify(chain) or chain
+            if qualified.rsplit(".", 1)[-1] == "ProcessPoolExecutor":
+                for kw in node.keywords:
+                    if kw.arg == "initializer":
+                        target = resolver.qualify(dotted_chain(kw.value))
+                        if target:
+                            entries.append(target)
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "submit" and node.args:
+            target = resolver.qualify(dotted_chain(node.args[0]))
+            if target:
+                entries.append(target)
+
+    return {
+        "module": model.module,
+        "path": model.path,
+        "functions": functions,
+        "entries": sorted(set(entries)),
+        "classes": sorted({
+            node.name for node in model.tree.body
+            if isinstance(node, ast.ClassDef)
+        }),
+    }
+
+
+class WorkerGlobalWriteRule:
+    """MP001 -- see the module docstring.  A project rule: ``check`` takes
+    the full list of per-file fact dicts."""
+
+    id = "MP001"
+    title = "worker-reachable write to module-level state"
+
+    def check_project(self, all_facts):
+        table = {}
+        class_methods = {}
+        for facts in all_facts:
+            classes = {f"{facts['module']}.{c}" for c in facts["classes"]}
+            for qualname, info in facts["functions"].items():
+                table[qualname] = dict(info, path=facts["path"],
+                                       module=facts["module"])
+                head = qualname.rpartition(".")[0]
+                if head in classes:
+                    class_methods.setdefault(head, []).append(qualname)
+
+        entries = sorted({e for facts in all_facts for e in facts["entries"]})
+        reachable = set()
+        stack = [e for e in entries if e in table]
+        while stack:
+            qualname = stack.pop()
+            if qualname in reachable:
+                continue
+            reachable.add(qualname)
+            for call in table[qualname]["calls"]:
+                if call in table:
+                    stack.append(call)
+                elif call in class_methods or call + ".__init__" in table:
+                    # Instantiating a class makes its methods reachable.
+                    for method in class_methods.get(call, []):
+                        stack.append(method)
+
+        out = []
+        for qualname in sorted(reachable):
+            info = table[qualname]
+            if any(info["module"].startswith(m) for m in MERGE_PATH_MODULES):
+                continue
+            for name, line, content in info["writes"]:
+                out.append(Finding(
+                    rule=self.id, path=info["path"], line=line, col=0,
+                    message=(f"'{qualname}' is reachable from a pool worker "
+                             f"and writes module global '{name}'; worker "
+                             "state must flow through the metrics-registry "
+                             "merge path or stay process-local by design"),
+                    content=content))
+        return out
+
+
+class PoolLocalCallableRule:
+    id = "MP002"
+    title = "fork-unsafe callable handed to the pool"
+
+    def check(self, model):
+        out = []
+        # Names of functions defined inside other functions (not picklable
+        # by qualified name under spawn).
+        nested_names = set()
+        for node in ast.walk(model.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is not node and isinstance(
+                            inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        nested_names.add(inner.name)
+
+        def judge(value, what):
+            if isinstance(value, ast.Lambda):
+                out.append(model.finding(
+                    self.id, value,
+                    f"lambda as {what} cannot be pickled by the spawn "
+                    "pool; use a module-level function"))
+            elif isinstance(value, ast.Name) and value.id in nested_names:
+                out.append(model.finding(
+                    self.id, value,
+                    f"locally-defined function '{value.id}' as {what} "
+                    "cannot be pickled by the spawn pool; move it to "
+                    "module level"))
+
+        for node in ast.walk(model.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if chain and chain.rsplit(".", 1)[-1] == "ProcessPoolExecutor":
+                for kw in node.keywords:
+                    if kw.arg == "initializer":
+                        judge(kw.value, "pool initializer")
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "submit" and node.args:
+                judge(node.args[0], "submitted task")
+        return out
+
+
+class UnguardedTempPathRule:
+    id = "MP003"
+    title = "temp path without a per-process discriminator"
+
+    def _statements(self, model):
+        for node in ast.walk(model.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                                 ast.Expr, ast.Return, ast.With)):
+                yield node
+
+    @staticmethod
+    def _is_tmp_str(node):
+        return (isinstance(node, ast.Constant)
+                and isinstance(node.value, str) and ".tmp" in node.value)
+
+    def _constructed_tmp_parts(self, stmt):
+        """``".tmp"`` string constants that participate in *building* a
+        path (concatenation, f-string, join/format) -- bare constants and
+        docstrings are just documentation, not races."""
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                for side in (node.left, node.right):
+                    if self._is_tmp_str(side):
+                        yield side
+            elif isinstance(node, ast.JoinedStr):
+                for part in node.values:
+                    if self._is_tmp_str(part):
+                        yield part
+            elif isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                tail = chain.rsplit(".", 1)[-1] if chain else ""
+                if tail in ("join", "format"):
+                    for arg in node.args:
+                        if self._is_tmp_str(arg):
+                            yield arg
+
+    def check(self, model):
+        out = []
+        for stmt in self._statements(model):
+            parts = list(self._constructed_tmp_parts(stmt))
+            if not parts:
+                continue
+            guarded = False
+            for node in ast.walk(stmt):
+                chain = dotted_chain(node.func) if isinstance(
+                    node, ast.Call) else None
+                if chain and chain.rsplit(".", 1)[-1] in _TMP_GUARDS:
+                    guarded = True
+                    break
+            if not guarded:
+                out.append(model.finding(
+                    self.id, parts[0],
+                    "'.tmp' path has no per-process discriminator; two "
+                    "workers would race on the same temp name -- append "
+                    "f'.tmp.{os.getpid()}' (see tracestore.save_trace)"))
+        return out
+
+
+FILE_RULES = [PoolLocalCallableRule(), UnguardedTempPathRule()]
+PROJECT_RULES = [WorkerGlobalWriteRule()]

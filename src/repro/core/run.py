@@ -23,6 +23,7 @@ and new-style configuration never diverge.
 import inspect
 import time
 from dataclasses import asdict, dataclass, fields, replace
+from typing import Optional
 
 from repro.obs import enable as _obs_enable
 from repro.obs import events as _events
@@ -47,13 +48,13 @@ class RunConfig:
 
     scale: str = "small"
     jobs: int = 1
-    trace_dir: str = None
-    checkpoint_dir: str = None
-    point_timeout: float = None
+    trace_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    point_timeout: Optional[float] = None
     retries: int = 2
     backoff: float = 0.05
     strict_store: bool = False
-    report_out: str = None
+    report_out: Optional[str] = None
     progress: bool = False
 
     def as_dict(self):
@@ -154,10 +155,10 @@ def run_experiments(names, config=None, on_result=None):
             if "jobs" in inspect.signature(mod.run).parameters:
                 kwargs["jobs"] = config.jobs
             _events.emit("experiment.start", name=name)
-            start = time.time()
+            start = time.monotonic()
             with span("experiment", name=name, scale=config.scale):
                 results = mod.run(**kwargs)
-            elapsed = time.time() - start
+            elapsed = time.monotonic() - start
             _events.emit("experiment.end", name=name, seconds=elapsed)
             outcomes.append({"name": name, "results": results,
                              "seconds": elapsed})

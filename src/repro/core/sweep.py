@@ -47,6 +47,7 @@ from concurrent.futures import (
     wait as _futures_wait,
 )
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.db.shmem import shared_home_fn
 from repro.memsim.events import CLASS_NAMES, DataClass, N_CLASSES
@@ -76,7 +77,7 @@ class SweepPoint:
     machine: dict = field(default_factory=dict)
     n_procs: int = 4
     seed_base: int = 0
-    arena_size: int = None
+    arena_size: Optional[int] = None
     placement: str = "shared"
     lock_check_per_rescan: bool = True
 
@@ -471,7 +472,7 @@ def _run_supervised(todo, scale, seed, config, journal):
             obs_events.emit("point.retry", index=i, key=repr(todo[i].key),
                             attempts=attempts[i],
                             error=type(exc).__name__)
-            not_before[i] = time.time() + backoff * (2 ** (attempts[i] - 1))
+            not_before[i] = time.monotonic() + backoff * (2 ** (attempts[i] - 1))
             pending.append(i)
 
     def respawn(exc=None):
@@ -506,7 +507,7 @@ def _run_supervised(todo, scale, seed, config, journal):
                     max_workers=jobs, mp_context=ctx,
                     initializer=_worker_init,
                     initargs=(scale, seed, shipped, get_strict()))
-            now = time.time()
+            now = time.monotonic()
             ready = [i for i in pending if not_before[i] <= now]
             submit_broke = False
             while ready and len(inflight) < jobs:
@@ -526,7 +527,7 @@ def _run_supervised(todo, scale, seed, config, journal):
                     respawn(exc)
                     submit_broke = True
                     break
-                inflight[fut] = (i, time.time())
+                inflight[fut] = (i, time.monotonic())
             if submit_broke:
                 continue
             if not inflight:
@@ -552,7 +553,7 @@ def _run_supervised(todo, scale, seed, config, journal):
                     fail(i, exc)
                 else:
                     if _valid_summary(summary):
-                        elapsed = time.time() - t0
+                        elapsed = time.monotonic() - t0
                         point_seconds.observe(elapsed)
                         record_checkpoint(i, summary)
                         obs_events.emit("point.done", index=i,
@@ -576,7 +577,7 @@ def _run_supervised(todo, scale, seed, config, journal):
                 respawn(broken)
                 continue
             if point_timeout:
-                now = time.time()
+                now = time.monotonic()
                 timed = [(fut, iv) for fut, iv in inflight.items()
                          if now - iv[1] > point_timeout]
                 if timed:

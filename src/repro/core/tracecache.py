@@ -35,7 +35,7 @@ import pickle
 from array import array
 
 from repro.memsim.events import (
-    EV_BUSY, EV_HIT, EV_LOCK_ACQ, EV_LOCK_REL, EV_READ, EV_WRITE,
+    EV_BUSY, EV_HIT, EV_LOCK_ACQ, EV_LOCK_REL, EV_WRITE,
 )
 from repro.obs.metrics import registry
 from repro.obs.spans import span

@@ -351,7 +351,8 @@ def clean_stale_temps(directory, max_age=STALE_TMP_AGE):
     except OSError:
         return 0
     removed = 0
-    now = time.time()
+    # Wall clock on purpose: it is compared against on-disk mtimes.
+    now = time.time()  # repro: allow[DET002] compared to file mtimes
     for name in names:
         if TMP_MARKER not in name:
             continue

@@ -23,7 +23,7 @@ from repro.db.plan import (
     Aggregate, Group, HashJoin, IndexScan, MergeJoin, NestLoop, Param,
     Project, SeqScan, Sort,
 )
-from repro.memsim.events import DataClass, busy, hit, read, write
+from repro.memsim.events import busy, hit, read, write
 
 COL_BYTES = 8
 _SENTINEL = object()

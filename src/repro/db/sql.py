@@ -17,7 +17,7 @@ calls (``SUM``/``COUNT``/``AVG``/``MIN``/``MAX``), arithmetic, comparisons,
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.db.datatypes import date_to_num
 from repro.db.expr import (

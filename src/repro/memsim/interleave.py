@@ -16,6 +16,7 @@ spinning on, or releasing metalocks are accounted as *MSync* time.
 
 from time import perf_counter
 
+from repro.memsim.sanitize import ENABLED as _sanitize
 from repro.memsim.stats import CpuStats, merge_cpu_stats
 from repro.obs import enabled as _obs_enabled
 from repro.obs.metrics import registry as _registry
@@ -164,6 +165,8 @@ class Interleaver:
                     now = drain_time(cpu, now)
                     clocks[cpu] = now
                     stats.finish_time = now
+                    if _sanitize:
+                        machine.check_invariants()
                     break
 
                 kind = ev[0]
@@ -333,6 +336,7 @@ class Interleaver:
         # check stays an int-int comparison.
         INF = 1 << 62
 
+        # repro: hot -- the replay dispatch loop; see rules_hot.py.
         while alive:
             # Identical argmin/limit selection to :meth:`run`: the chosen
             # processor dispatches in a tight loop while it stays strictly
@@ -388,6 +392,10 @@ class Interleaver:
                     stats.finish_time = now
                     if sink is not None:
                         sink[cpu] = traces[cpu].rows
+                    # Cold by the HOT lint's sanitizer-gate exemption: the
+                    # sweep runs once per finished stream, not per event.
+                    if _sanitize:
+                        machine.check_invariants()
                     break
 
                 kind = tk[pos]

@@ -12,9 +12,9 @@ An optional hardware prefetcher (section 6 of the paper) issues fetches for
 the next 4 primary-cache lines on every access to database data.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.memsim.cache import Cache, MISS_COHERENCE
+from repro.memsim.cache import Cache
 from repro.memsim.directory import Directory
 from repro.memsim.events import DataClass
 from repro.memsim.stats import MachineStats
@@ -130,6 +130,7 @@ class NumaMachine:
 
     # -- demand accesses -----------------------------------------------------
 
+    # repro: hot
     def read(self, node, addr, size, cls, now):
         """Perform a load; return stall cycles beyond the pipelined cycle.
 
@@ -204,6 +205,7 @@ class NumaMachine:
             stall += read_line(node, first, cls, now + stall)
         return stall
 
+    # repro: hot
     def write(self, node, addr, size, cls, now):
         """Perform a store; return stall cycles (write-buffer overflow)."""
         shift = self._l1_shift
@@ -281,6 +283,7 @@ class NumaMachine:
 
     # -- internals -----------------------------------------------------------
 
+    # repro: hot
     def _read_line(self, node, line1, cls, now):
         stats = self.stats
         stats.l1_reads += 1
@@ -301,6 +304,7 @@ class NumaMachine:
             return 0
         return self._read_miss(node, line1, cls, now)
 
+    # repro: hot
     def _read_miss(self, node, line1, cls, now):
         # Same inlining as the read() hot path (Cache.lookup/insert and
         # classify_miss): multi-line accesses miss here once per line, and
@@ -378,6 +382,7 @@ class NumaMachine:
             self._evict_l2(node, ways2.pop())
         return latency
 
+    # repro: hot
     def _write_line(self, node, line1, cls, now):
         stats = self.stats
         stats.l1_writes += 1
@@ -518,6 +523,53 @@ class NumaMachine:
             else:
                 fill = now + latency
             pending[(node, pline)] = fill
+
+    # -- sanitizer ---------------------------------------------------------------
+
+    def check_invariants(self):
+        """Read-only sweep of the hierarchy's structural invariants.
+
+        Raises :class:`~repro.memsim.sanitize.SanitizerError` on the first
+        violation; called from the replay engines at stream boundaries
+        when ``REPRO_SANITIZE=1``.  Checks, per node: L1 contents are a
+        subset of L2 contents (inclusion, maintained by :meth:`_evict_l2`),
+        every L2-resident line is registered as a sharer at the directory,
+        and the write buffer's completion times are FIFO (nondecreasing).
+        Directory-side: a dirty line has exactly its owner as sharer.
+        """
+        from repro.memsim.sanitize import SanitizerError
+
+        shift = self._ratio_shift
+        sharers = self.directory._sharers
+        for node in range(self.config.n_nodes):
+            l2_resident = set()
+            for ways2 in self._l2_sets[node]:
+                l2_resident.update(ways2)
+            for ways in self._l1_sets[node]:
+                for line1 in ways:
+                    if (line1 >> shift) not in l2_resident:
+                        raise SanitizerError(
+                            f"inclusion violated: node {node} holds L1 line "
+                            f"{line1:#x} whose L2 line {line1 >> shift:#x} "
+                            "is not resident")
+            for line2 in sorted(l2_resident):
+                if node not in sharers.get(line2, ()):
+                    raise SanitizerError(
+                        f"directory lost node {node} for resident L2 line "
+                        f"{line2:#x}: sharers={sorted(sharers.get(line2, ()))}")
+            prev = None
+            for completion in self.wb[node].entries:
+                if prev is not None and completion < prev:
+                    raise SanitizerError(
+                        f"write buffer of node {node} is out of FIFO order: "
+                        f"{completion} after {prev}")
+                prev = completion
+        for line2, owner in self.directory._dirty.items():
+            holders = sharers.get(line2, set())
+            if holders != {owner}:
+                raise SanitizerError(
+                    f"dirty line {line2:#x} owned by node {owner} has "
+                    f"sharers {sorted(holders)} (must be exactly the owner)")
 
     # -- workload-phase control -------------------------------------------------
 

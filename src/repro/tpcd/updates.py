@@ -11,7 +11,6 @@ expressed as plain SQL over the engine's DML grammar.
 
 import random
 
-from repro.db.datatypes import num_to_date
 from repro.tpcd.dbgen import START_DATE, END_DATE
 from repro.tpcd.schema import PRIORITIES, SHIPINSTRUCT, SHIPMODES
 

@@ -1,0 +1,156 @@
+"""Tests for the runtime sanitizer (REPRO_SANITIZE) and its invariants.
+
+Covers three layers:
+
+* :mod:`repro.memsim.sanitize` -- the one-shot env flag read.
+* :meth:`NumaMachine.check_invariants` -- passes on healthy state and
+  raises :class:`SanitizerError` on each class of corruption it guards
+  (inclusion, directory sharer loss, single-dirty-owner, WB FIFO order).
+* The interleaver wiring -- with the gate forced on, the replay engines
+  call the checker at stream boundaries and results stay bit-identical
+  to an unsanitized run.
+"""
+
+import importlib
+
+import pytest
+
+from repro.memsim import sanitize
+from repro.memsim.events import DataClass, busy, read, write
+from repro.memsim.interleave import Interleaver
+from repro.memsim.numa import MachineConfig, NumaMachine
+
+DATA = DataClass.DATA
+
+
+def make_machine():
+    return NumaMachine(MachineConfig(), home_fn=lambda a: 0)
+
+
+def warm_machine():
+    """Run a small mixed stream so caches, directory, and WB are populated."""
+    machine = make_machine()
+
+    def s():
+        yield read(0x1000, 4, DATA)
+        yield write(0x2000, 4, DATA)
+        yield busy(10)
+
+    res = Interleaver(machine).run([s()])
+    return machine, res
+
+
+# -- env flag ---------------------------------------------------------------
+
+
+def test_enabled_reads_env_once(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    try:
+        importlib.reload(sanitize)
+        assert sanitize.ENABLED is True
+        assert sanitize.enabled() is True
+        # The flag is latched at import: later env changes don't matter.
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert sanitize.enabled() is True
+    finally:
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        importlib.reload(sanitize)
+    assert sanitize.ENABLED is False
+
+
+def test_sanitizer_error_is_assertion_error():
+    # So ``python -O`` semantics and pytest.raises(AssertionError) both work.
+    assert issubclass(sanitize.SanitizerError, AssertionError)
+
+
+# -- check_invariants: pass and each violation class ------------------------
+
+
+def test_invariants_pass_on_warm_machine():
+    machine, _ = warm_machine()
+    machine.check_invariants()  # must not raise
+
+
+def test_invariants_pass_on_fresh_machine():
+    make_machine().check_invariants()  # empty hierarchy is trivially valid
+
+
+def test_inclusion_violation_detected():
+    machine, _ = warm_machine()
+    # Plant an L1 line whose L2 parent line is nowhere resident.
+    bogus = 0x7FFF00
+    assert all(bogus >> machine._ratio_shift not in ways
+               for ways in machine._l2_sets[0])
+    machine._l1_sets[0][bogus & machine._l1_mask].append(bogus)
+    with pytest.raises(sanitize.SanitizerError, match="inclusion violated"):
+        machine.check_invariants()
+
+
+def test_directory_sharer_loss_detected():
+    machine, _ = warm_machine()
+    line2 = next(line for ways in machine._l2_sets[0] for line in ways)
+    machine.directory._sharers[line2].discard(0)
+    with pytest.raises(sanitize.SanitizerError, match="directory lost node 0"):
+        machine.check_invariants()
+
+
+def test_dirty_owner_violation_detected():
+    machine, _ = warm_machine()
+    line2, owner = next(iter(machine.directory._dirty.items()))
+    machine.directory._sharers[line2].add(owner + 1)
+    with pytest.raises(sanitize.SanitizerError, match="dirty line"):
+        machine.check_invariants()
+
+
+def test_write_buffer_fifo_violation_detected():
+    machine, _ = warm_machine()
+    machine.wb[0].entries.extend([100, 50])
+    with pytest.raises(sanitize.SanitizerError, match="FIFO"):
+        machine.check_invariants()
+
+
+# -- interleaver wiring -----------------------------------------------------
+
+
+def _streams():
+    def s0():
+        yield read(0x1000, 4, DATA)
+        yield write(0x2000, 4, DATA)
+        yield busy(25)
+        yield read(0x2000, 4, DataClass.PRIV)
+
+    def s1():
+        yield busy(5)
+        yield write(0x1000, 4, DATA)
+        yield read(0x3000, 4, DATA)
+
+    return [s0(), s1()]
+
+
+def _run_snapshot():
+    machine = make_machine()
+    res = Interleaver(machine).run(_streams())
+    return (res.exec_time,
+            [(c.busy, c.msync, list(c.mem_by_class)) for c in res.cpu_stats],
+            machine.stats.l1_reads,
+            machine.stats.l1_writes)
+
+
+def test_sanitized_run_checks_invariants_and_matches(monkeypatch):
+    plain = _run_snapshot()
+    monkeypatch.setattr("repro.memsim.interleave._sanitize", True)
+    sanitized = _run_snapshot()
+    assert sanitized == plain
+
+
+def test_sanitized_run_surfaces_corruption(monkeypatch):
+    """With the gate on, corruption present at a stream boundary raises."""
+    monkeypatch.setattr("repro.memsim.interleave._sanitize", True)
+    machine = make_machine()
+    machine.wb[0].entries.extend([100, 50])  # pre-corrupted FIFO order
+
+    def s():
+        yield busy(1)
+
+    with pytest.raises(sanitize.SanitizerError, match="FIFO"):
+        Interleaver(machine).run([s()])
