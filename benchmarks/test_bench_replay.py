@@ -8,12 +8,18 @@ scale's baseline machine) isolate the layers of the trace pipeline:
 * ``generator_replay`` -- :meth:`Interleaver.run` over ``replay()``
   streams, the PR-1 replay path (one tuple per event);
 * ``array_direct_replay`` -- :meth:`Interleaver.run_traces` straight off
-  the columnar arrays, the path sweep points use.
+  the columnar arrays with the scalar reference kernel;
+* ``batched_replay`` -- the same traces through the batched kernel
+  (:mod:`repro.memsim.batch`), the default whenever numpy is importable.
 
 ``extra_info`` records events per second for each, so the speedup of the
-array-direct dispatch over the generator path is visible in the saved
-benchmark JSON.
+array-direct dispatch over the generator path -- and of the batched
+kernel over scalar dispatch -- is visible in the saved benchmark JSON.
+For the scripted scalar-vs-batched comparison with a CI regression gate,
+see ``scripts/bench_replay.py`` and ``benchmarks/BENCH_replay.json``.
 """
+
+import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.experiment import workload_trace_cache
@@ -68,7 +74,32 @@ def test_bench_array_direct_replay(benchmark, scale):
 
     def replay():
         machine = NumaMachine(sc.machine_config(), home_fn=shared_home_fn())
-        return Interleaver(machine).run_traces(traces)
+        return Interleaver(machine).run_traces(traces, kernel="scalar")
+
+    run = run_once(benchmark, replay)
+    _events_per_sec(benchmark, traces)
+    benchmark.extra_info["exec_time"] = run.exec_time
+
+
+def test_bench_batched_replay(benchmark, scale):
+    from repro.memsim.batch import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        pytest.skip("the batched kernel needs numpy (the 'perf' extra)")
+    sc = get_scale(scale)
+    cache = workload_trace_cache(sc)
+    traces = [cache.get(QID, i, i) for i in range(N_PROCS)]
+    # Build the plans outside the timer: a sweep pays them once per
+    # geometry, not per replay, so the steady-state dispatch is the
+    # number that matters here.
+    shift = sc.machine_config().l1_line.bit_length() - 1
+    machine = NumaMachine(sc.machine_config(), home_fn=shared_home_fn())
+    for t in traces:
+        t.batch_plan(shift, machine._l1_nsets)
+
+    def replay():
+        m = NumaMachine(sc.machine_config(), home_fn=shared_home_fn())
+        return Interleaver(m).run_traces(traces, kernel="batched")
 
     run = run_once(benchmark, replay)
     _events_per_sec(benchmark, traces)

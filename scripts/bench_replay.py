@@ -1,0 +1,154 @@
+"""Replay-kernel benchmark: scalar vs batched wall time on warm traces.
+
+Times :meth:`Interleaver.run_traces` under both dispatch kernels over the
+same recorded traces (one query per processor, the scale's baseline
+machine) and writes a schema-versioned JSON report::
+
+    PYTHONPATH=src python scripts/bench_replay.py --scale small \\
+        --trace-dir ~/.cache/repro-traces --out BENCH_replay.json
+
+With ``--check BASELINE`` the measured aggregate speedup is gated against
+the committed baseline's ``gate.min_speedup`` floor (exit 1 below it), so
+CI catches a batched-kernel regression without chasing absolute seconds
+across runner hardware.  The committed baseline
+(``benchmarks/BENCH_replay.json``) records the numbers measured on the
+development machine; refresh it with ``--out`` after deliberate kernel
+work, and keep the floor at a value the change actually measured.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from time import perf_counter
+
+SCHEMA = "repro.bench_replay/1"
+DEFAULT_QUERIES = ["Q1", "Q3", "Q6", "Q12", "Q17"]
+
+
+def bench_query(qid, scale, cache, n_procs, reps):
+    from repro.db.shmem import shared_home_fn
+    from repro.memsim.interleave import Interleaver
+    from repro.memsim.numa import NumaMachine
+
+    traces = [cache.get(qid, i, i, arena_size=scale.arena_size)
+              for i in range(n_procs)]
+    rows = sum(len(t) for t in traces)
+    config = scale.machine_config()
+    out = {"rows": rows}
+    for kernel in ("scalar", "batched"):
+        times = []
+        for _ in range(reps):
+            machine = NumaMachine(config, home_fn=shared_home_fn())
+            t0 = perf_counter()
+            Interleaver(machine).run_traces(traces, kernel=kernel)
+            times.append(perf_counter() - t0)
+        out[f"{kernel}_s"] = round(min(times), 4)
+    out["speedup"] = round(out["scalar_s"] / out["batched_s"], 3) \
+        if out["batched_s"] else 0.0
+    return out
+
+
+def check(report, baseline_path):
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        print(f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}",
+              file=sys.stderr)
+        return 1
+    floor = baseline["gate"]["min_speedup"]
+    measured = report["total"]["speedup"]
+    if measured < floor:
+        print(f"FAIL: aggregate batched speedup {measured:.2f}x is below "
+              f"the gate floor {floor:.2f}x (baseline measured "
+              f"{baseline['total']['speedup']:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"gate ok: aggregate speedup {measured:.2f}x >= floor "
+          f"{floor:.2f}x")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the replay kernels (scalar vs batched).")
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--queries", default=",".join(DEFAULT_QUERIES),
+                        help="comma-separated query ids")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per kernel (min is kept)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="persistent trace store (records on first use)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON report to FILE")
+    parser.add_argument("--gate-floor", type=float, default=None,
+                        metavar="X",
+                        help="embed gate.min_speedup=X in the written "
+                             "report (set it BELOW the measured speedup: "
+                             "the gate is a regression tripwire, not a "
+                             "target, and CI runners are noisy)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="gate the aggregate speedup against a "
+                             "committed baseline report")
+    args = parser.parse_args(argv)
+
+    from repro.core.experiment import set_trace_dir, workload_trace_cache
+    from repro.memsim.batch import HAVE_NUMPY
+    from repro.tpcd.scales import get_scale
+
+    if not HAVE_NUMPY:
+        print("numpy is not importable: the batched kernel would fall back "
+              "to scalar and the comparison would be meaningless; install "
+              "the 'perf' extra first", file=sys.stderr)
+        return 2
+
+    if args.trace_dir:
+        set_trace_dir(args.trace_dir)
+    scale = get_scale(args.scale)
+    cache = workload_trace_cache(args.scale)
+    queries = [q.strip() for q in args.queries.split(",") if q.strip()]
+
+    report = {
+        "schema": SCHEMA,
+        "scale": args.scale,
+        "n_procs": args.procs,
+        "reps": args.reps,
+        "python": platform.python_version(),
+        "queries": {},
+    }
+    print(f"{'query':8s} {'rows':>9s} {'scalar':>8s} {'batched':>8s} "
+          f"{'speedup':>8s}")
+    for qid in queries:
+        result = bench_query(qid, scale, cache, args.procs, args.reps)
+        report["queries"][qid] = result
+        print(f"{qid:8s} {result['rows']:9d} {result['scalar_s']:8.3f} "
+              f"{result['batched_s']:8.3f} {result['speedup']:7.2f}x")
+    total_scalar = round(sum(q["scalar_s"]
+                             for q in report["queries"].values()), 4)
+    total_batched = round(sum(q["batched_s"]
+                              for q in report["queries"].values()), 4)
+    report["total"] = {
+        "rows": sum(q["rows"] for q in report["queries"].values()),
+        "scalar_s": total_scalar,
+        "batched_s": total_batched,
+        "speedup": round(total_scalar / total_batched, 3)
+        if total_batched else 0.0,
+    }
+    print(f"{'total':8s} {report['total']['rows']:9d} {total_scalar:8.3f} "
+          f"{total_batched:8.3f} {report['total']['speedup']:7.2f}x")
+
+    if args.gate_floor is not None:
+        report["gate"] = {"min_speedup": args.gate_floor}
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    if args.check:
+        return check(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    sys.exit(main())

@@ -43,7 +43,8 @@ class RunConfig:
     ``point_timeout``, ``retries``, ``backoff`` tune the supervised
     executor; ``strict_store`` makes damaged store entries fatal;
     ``report_out`` and ``progress`` drive the observability layer
-    (:mod:`repro.obs`).
+    (:mod:`repro.obs`); ``kernel`` picks the replay dispatch engine
+    (``auto``/``batched``/``scalar``; see :mod:`repro.memsim.batch`).
     """
 
     scale: str = "small"
@@ -56,6 +57,7 @@ class RunConfig:
     strict_store: bool = False
     report_out: Optional[str] = None
     progress: bool = False
+    kernel: str = "auto"
 
     def as_dict(self):
         """Plain-dict view (the run report embeds this under ``config``)."""
@@ -91,10 +93,12 @@ def configure_run(config):
     from repro.core import tracestore
     from repro.core.experiment import set_trace_dir
     from repro.core.sweep import _SWEEP_DEFAULTS
+    from repro.memsim.batch import set_default_kernel
 
     _CURRENT = config
     set_trace_dir(config.trace_dir)
     tracestore.set_strict(config.strict_store)
+    set_default_kernel(config.kernel)
     _SWEEP_DEFAULTS.update(
         checkpoint_dir=config.checkpoint_dir,
         point_timeout=config.point_timeout,
@@ -113,6 +117,7 @@ def current_run_config(**overrides):
     from repro.core import tracestore
     from repro.core.experiment import get_trace_dir
     from repro.core.sweep import _SWEEP_DEFAULTS
+    from repro.memsim.batch import default_kernel
 
     cfg = replace(
         _CURRENT,
@@ -122,6 +127,7 @@ def current_run_config(**overrides):
         point_timeout=_SWEEP_DEFAULTS["point_timeout"],
         retries=_SWEEP_DEFAULTS["retries"],
         backoff=_SWEEP_DEFAULTS["backoff"],
+        kernel=default_kernel(),
     )
     return replace(cfg, **overrides) if overrides else cfg
 

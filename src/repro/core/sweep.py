@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.db.shmem import shared_home_fn
+from repro.memsim.batch import default_kernel as _default_kernel
 from repro.memsim.events import CLASS_NAMES, DataClass, N_CLASSES
 from repro.memsim.interleave import Interleaver
 from repro.memsim.numa import NumaMachine
@@ -336,7 +337,8 @@ def _shipped_trace(tkey):
     return trace
 
 
-def _worker_init(scale, seed, shipped=None, strict_store=False):
+def _worker_init(scale, seed, shipped=None, strict_store=False,
+                 kernel="auto"):
     global _WORKER_ARGS, _SHIPPED
     _WORKER_ARGS = (scale, seed)
     _SHIPPED = shipped
@@ -344,6 +346,10 @@ def _worker_init(scale, seed, shipped=None, strict_store=False):
         from repro.core import tracestore
 
         tracestore.set_strict(True)
+    if kernel != "auto":
+        from repro.memsim.batch import set_default_kernel
+
+        set_default_kernel(kernel)
 
 
 def _worker_task(index, attempt, point):
@@ -506,7 +512,8 @@ def _run_supervised(todo, scale, seed, config, journal):
                 pool = ProcessPoolExecutor(
                     max_workers=jobs, mp_context=ctx,
                     initializer=_worker_init,
-                    initargs=(scale, seed, shipped, get_strict()))
+                    initargs=(scale, seed, shipped, get_strict(),
+                              _default_kernel()))
             now = time.monotonic()
             ready = [i for i in pending if not_before[i] <= now]
             submit_broke = False

@@ -71,7 +71,8 @@ class QueryTrace:
     """
 
     __slots__ = ("kinds", "a", "b", "c", "d", "e", "lock_ids", "rows",
-                 "n_source_events", "_rows_nbytes", "_columns")
+                 "n_source_events", "_rows_nbytes", "_columns",
+                 "_batch_base", "_batch_plans")
 
     def __init__(self):
         self.kinds = array("b")
@@ -85,6 +86,8 @@ class QueryTrace:
         self.n_source_events = 0
         self._rows_nbytes = None
         self._columns = None
+        self._batch_base = None
+        self._batch_plans = {}
 
     def columns(self):
         """The six columns as plain lists, memoized.
@@ -102,6 +105,15 @@ class QueryTrace:
                                     list(self.b), list(self.c),
                                     list(self.d), list(self.e))
         return cols
+
+    def batch_plan(self, l1_shift, n_sets):
+        """Run-partition metadata for the batched replay kernel, memoized
+        per L1 geometry (see :func:`repro.memsim.batch.trace_plan`); like
+        :meth:`columns`, the derived view is paid once per trace, not per
+        replay, and dropped with the trace itself."""
+        from repro.memsim.batch import trace_plan
+
+        return trace_plan(self, l1_shift, n_sets)
 
     def __len__(self):
         return len(self.kinds)

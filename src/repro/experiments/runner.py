@@ -65,6 +65,14 @@ def _build_parser():
                         help="worker re-attempts per failed sweep point "
                              "before degrading to in-process execution "
                              "(default: 2)")
+    parser.add_argument("--kernel", default=os.environ.get("REPRO_KERNEL",
+                                                           "auto"),
+                        choices=["auto", "batched", "scalar"],
+                        help="replay dispatch engine: 'batched' retires "
+                             "non-interacting runs with numpy, 'scalar' is "
+                             "the pure-Python reference loop, 'auto' picks "
+                             "batched when numpy is importable "
+                             "(default: auto, or REPRO_KERNEL)")
     parser.add_argument("--strict-store", action="store_true",
                         help="raise on damaged trace-store entries instead "
                              "of re-recording them")
@@ -114,6 +122,7 @@ def main(argv=None):
         strict_store=args.strict_store,
         report_out=args.report_out,
         progress=args.progress,
+        kernel=args.kernel,
     )
     configure_run(config)
 
@@ -166,6 +175,7 @@ def _print_timings(config, outcomes):
     from repro.core.experiment import trace_cache_stats
     from repro.core.sweep import point_memo_stats, supervisor_stats
     from repro.core.tracestore import corruption_stats
+    from repro.memsim.batch import kernel_stats
 
     timings = [(o["name"], o["seconds"]) for o in outcomes]
     print(f"\n{'=' * 72}\nTimings  (scale={config.scale}, "
@@ -195,6 +205,17 @@ def _print_timings(config, outcomes):
           f"timeouts={sup['timeouts']} respawns={sup['respawns']} "
           f"fallbacks={sup['fallbacks']} garbage={sup['garbage']} "
           f"resumed={sup['resumed']}")
+    ks = kernel_stats()
+    rows = ks["batched_rows"] + ks["inline_rows"] + ks["scalar_rows"]
+    frac = (f" ({ks['inline_rows'] / rows:.1%} inlined, "
+            f"{ks['batched_rows'] / rows:.1%} gathered)") if rows else ""
+    print(f"  replay kern  batched={ks['batched_runs']} runs "
+          f"{ks['batched_seconds']:.2f}s  scalar={ks['scalar_runs']} runs "
+          f"{ks['scalar_seconds']:.2f}s{frac}")
+    if ks["fallbacks"]:
+        causes = " ".join(f"{cause}={n}"
+                          for cause, n in sorted(ks["fallbacks"].items()))
+        print(f"  kern fallbk  {causes}")
 
 
 if __name__ == "__main__":

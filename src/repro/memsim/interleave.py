@@ -16,6 +16,11 @@ spinning on, or releasing metalocks are accounted as *MSync* time.
 
 from time import perf_counter
 
+from repro.memsim.batch import (
+    MIN_RESUME as _MIN_RESUME,
+    machine_batch_reason as _batch_reason,
+    resolve_kernel as _resolve_kernel,
+)
 from repro.memsim.sanitize import ENABLED as _sanitize
 from repro.memsim.stats import CpuStats, merge_cpu_stats
 from repro.obs import enabled as _obs_enabled
@@ -272,7 +277,7 @@ class Interleaver:
             _note_run("run", cpu_stats, perf_counter() - t0)
         return RunResult(machine, cpu_stats)
 
-    def run_traces(self, traces, sink=None, reset_stats=False):
+    def run_traces(self, traces, sink=None, reset_stats=False, kernel=None):
         """Replay recorded traces array-directly: no generators, no tuples.
 
         ``traces`` holds one :class:`~repro.core.tracecache.QueryTrace` per
@@ -286,8 +291,31 @@ class Interleaver:
         queries).  A contended lock acquire retries by *not* advancing the
         cursor, mirroring the ``pending``-slot redispatch of :meth:`run`.
 
+        ``kernel`` picks the dispatch engine: ``"scalar"`` (the pure-Python
+        reference loop), ``"batched"`` (plan-driven inlined dispatch plus
+        vectorized retirement of non-interacting runs; see
+        :mod:`repro.memsim.batch`), or ``None``/``"auto"`` to follow
+        ``RunConfig.kernel`` / ``REPRO_KERNEL`` and default to batched
+        when numpy is available.  A batched request the machine cannot
+        serve (prefetching on, or numpy missing) falls back to scalar and
+        counts the reason under ``interleave.kernel.fallback.*``.  Both
+        engines are bit-identical by construction and by test.
+
         When ``sink`` is given, ``sink[i]`` is set to trace *i*'s recorded
         result rows as its stream completes, like ``replay(sink=...)``.
+        """
+        if _resolve_kernel(kernel) == "batched":
+            reason = _batch_reason(self.machine)
+            if reason is None:
+                return self._run_traces_batched(traces, sink, reset_stats)
+            _registry().counter("interleave.kernel.fallback." + reason).inc()
+        return self._run_traces_scalar(traces, sink, reset_stats)
+
+    def _run_traces_scalar(self, traces, sink, reset_stats):
+        """The scalar ``run_traces`` engine: one dispatch per trace row.
+
+        This is the reference oracle the batched kernel is checked
+        against; its dispatch semantics define bit-identity.
         """
         machine = self.machine
         if len(traces) > machine.config.n_nodes:
@@ -296,7 +324,7 @@ class Interleaver:
             )
         if reset_stats:
             machine.reset_stats()
-        t0 = perf_counter() if _obs_enabled() else None
+        t0 = perf_counter()
 
         n = len(traces)
         clocks = [0] * n
@@ -502,6 +530,657 @@ class Interleaver:
             if l1_acc:
                 mstats.l1_reads += l1_acc
 
-        if t0 is not None:
-            _note_run("run_traces", cpu_stats, perf_counter() - t0)
+        elapsed = perf_counter() - t0
+        reg = _registry()
+        reg.counter("interleave.kernel.scalar.runs").inc()
+        reg.counter("interleave.kernel.scalar.seconds").inc(elapsed)
+        if _obs_enabled():
+            _note_run("run_traces", cpu_stats, elapsed)
+        return RunResult(machine, cpu_stats)
+
+    def _run_traces_batched(self, traces, sink, reset_stats):
+        """The batched ``run_traces`` engine: plan-driven inlined dispatch.
+
+        Identical window selection, per-event costs, and accounting to
+        :meth:`_run_traces_scalar`, restructured around the per-trace
+        :class:`~repro.memsim.batch.BatchPlan` in two tiers:
+
+        * Rows the plan tagged (single-line reads and writes; the vast
+          majority of a DSS trace) retire through copies of the machine's
+          read/write hot paths inlined into the dispatch loop.  The
+          plan's ``mem_lines`` column hands the loop the precomputed
+          primary-line tag, so the per-row method call, address
+          decomposition, and attribute chases of scalar dispatch all
+          disappear; counter updates accumulate in locals and flush at
+          window boundaries.  Every machine-state transition -- cache
+          fills, LRU moves, directory transactions, write-buffer issue --
+          happens one row at a time in the same global order at the same
+          cycle as under scalar dispatch.
+        * Qualifying *runs* (single-CPU reads over resident lines plus
+          busy/hit rows, >= ``MIN_BATCH`` long) retire in bulk: one
+          gather of the machine's L1 tag mirror answers every hit check
+          at once, cut at the first miss and at the window's clock limit
+          -- exactly where scalar dispatch would stop.  The mirror is
+          built only when some plan actually carries runs, so miss-dense
+          traces never pay for its maintenance.
+
+        Rows the plan marked slow (line-crossing accesses, lock events,
+        busy/hit rows) dispatch through branches copied verbatim from
+        the scalar engine.  Bit-identity is asserted
+        by ``tests/test_batch.py`` and the trace-cache suite under
+        ``REPRO_KERNEL=batched``.
+        """
+        machine = self.machine
+        if len(traces) > machine.config.n_nodes:
+            raise ValueError(
+                f"{len(traces)} traces but only {machine.config.n_nodes} nodes"
+            )
+        l1_shift = machine._l1_shift
+        plans = [t.batch_plan(l1_shift, machine._l1_nsets) for t in traces]
+        if any(p is None for p in plans):
+            _registry().counter("interleave.kernel.fallback.no_numpy").inc()
+            return self._run_traces_scalar(traces, sink, reset_stats)
+        # The gather tier engages only when a plan actually carries
+        # qualifying runs *and* the L1 can be mirrored (direct-mapped);
+        # otherwise neither the mirror nor the run walk costs anything.
+        gather = any(p.run_starts for p in plans)
+        if gather:
+            gather = machine._ensure_l1_mirror() is not None
+        if reset_stats:
+            machine.reset_stats()
+        t0 = perf_counter()
+
+        n = len(traces)
+        clocks = [0] * n
+        cpu_stats = [CpuStats() for _ in range(n)]
+        cursors = [0] * n
+        ends = [len(t) for t in traces]
+        total_rows = sum(ends)
+        INF = 1 << 62
+        if gather:
+            run_starts = [p.run_starts[0] if p.run_starts else INF
+                          for p in plans]
+            run_ends = [p.run_ends[0] if p.run_ends else INF for p in plans]
+        else:
+            run_starts = [INF] * n
+            run_ends = [INF] * n
+        run_idx = [0] * n
+        min_resume = _MIN_RESUME
+        batched_rows = 0
+        batched_disp = 0
+        scalar_rows = 0
+        alive = list(range(n))
+        lock_holder = {}
+        spin_interval = self.spin_interval
+        mread = machine.read
+        mwrite = machine.write
+        drain_time = machine.drain_time
+        # Aliases for the inlined read/write hot paths, bound after the
+        # stats reset (which replaces the counter containers).  Every
+        # aliased container is mutated in place by the machine's own
+        # helpers, so the aliases never go stale mid-run.
+        mstats = machine.stats
+        l1rm = mstats.l1_read_misses
+        l2rm = mstats.l2_read_misses
+        l1_sets = machine._l1_sets
+        l2_sets = machine._l2_sets
+        seen1_col = [c._seen for c in machine.l1]
+        inv1_col = [c._invalidated for c in machine.l1]
+        seen2_col = [c._seen for c in machine.l2]
+        inv2_col = [c._invalidated for c in machine.l2]
+        l1_assoc = machine.l1[0].assoc
+        l2_assoc = machine.l2[0].assoc
+        wbs = machine.wb
+        wb_cap = wbs[0].capacity
+        dirty = machine.directory._dirty
+        dirty_get = dirty.get
+        sharers = machine.directory._sharers
+        port_free = machine._port_free
+        home_fn = machine.home_fn
+        mtags = machine._l1_tags
+        inval_others = machine._invalidate_others
+        evict_l2 = machine._evict_l2
+        l1_mask = machine._l1_mask
+        l2_mask = machine._l2_mask
+        ratio_shift = machine._ratio_shift
+        l2_shift = machine._l2_shift
+        lat_l2 = machine.lat_l2
+        lat_local = machine.lat_local
+        lat_2hop = machine.lat_2hop
+        lat_3hop = machine.lat_3hop
+        wb_retire = machine._wb_retire
+
+        # Per-CPU dispatch context, one tuple per processor.  The global
+        # clock hands out short windows (a couple of rows on average), so
+        # per-window rebinding dominates unless every loop-invariant
+        # binding lands in the frame with a single sequence unpack.
+        ctxs = []
+        for i in range(n):
+            t = traces[i]
+            p = plans[i]
+            cols = t.columns()
+            wb_i = machine.wb[i]
+            if gather:
+                g = (p.sets, p.lines, p.ccost, p.cl1r, p.run_starts,
+                     p.run_ends, len(p.run_starts))
+            else:
+                g = (None, None, None, None, None, None, 0)
+            ctxs.append((
+                cols[0], cols[1], cols[2], cols[3], cols[4], cols[5],
+                p.mem_lines, p.mcost, p.mreads, t.lock_ids,
+                l1_sets[i], l2_sets[i], seen1_col[i], inv1_col[i],
+                seen2_col[i], inv2_col[i], wb_i, wb_i.entries,
+                wb_i.entries.popleft, wb_i.entries.append,
+                mtags[i] if mtags is not None else None,
+                ends[i], cpu_stats[i], cpu_stats[i].mem_by_class) + g)
+
+        # repro: hot -- the batched replay dispatch loop; see rules_hot.py.
+        while alive:
+            # Identical argmin/limit selection to :meth:`run`: the chosen
+            # processor dispatches in a tight loop while it stays strictly
+            # the earliest clock.
+            k = len(alive)
+            if k == 1:
+                cpu = alive[0]
+                limit = INF
+            elif k == 2:
+                c0, c1 = alive
+                if clocks[c0] <= clocks[c1]:
+                    cpu, limit = c0, clocks[c1]
+                else:
+                    cpu, limit = c1, clocks[c0]
+            else:
+                ait = iter(alive)
+                cpu = next(ait)
+                best = clocks[cpu]
+                limit = INF
+                for i in ait:
+                    ci = clocks[i]
+                    if ci < best:
+                        cpu, limit, best = i, best, ci
+                    elif ci < limit:
+                        limit = ci
+
+            (tk, ta, tb, tc, td, te, pl, pmc, pmr, lock_ids,
+             cpu_l1, cpu_l2, seen1, inv1, seen2, inv2, wb, wb_entries,
+             wb_pop, wb_app, tags1, end, stats, mem_by_class,
+             psets, plines, pccost, pcl1r, prs, pre, n_runs) = ctxs[cpu]
+            ri = run_idx[cpu]
+            nxt_start = run_starts[cpu]
+            nxt_end = run_ends[cpu]
+            pos = cursors[cpu]
+            now = clocks[cpu]
+            start_pos = pos
+            retry_acc = busy_acc = msync_acc = 0
+            l1_acc = l1w_acc = l2r_acc = l2wm_acc = 0
+
+            while True:
+                if pos >= end:
+                    alive.remove(cpu)
+                    now = drain_time(cpu, now)
+                    clocks[cpu] = now
+                    stats.finish_time = now
+                    if sink is not None:
+                        sink[cpu] = traces[cpu].rows
+                    # Cold by the HOT lint's sanitizer-gate exemption: the
+                    # sweep runs once per finished stream, not per event.
+                    if _sanitize:
+                        machine.check_invariants()
+                    break
+
+                if pos >= nxt_start:
+                    if nxt_end - pos >= min_resume:
+                        # Gather tier: one mirror gather answers every hit
+                        # check of the run remainder, then the prefix is
+                        # cut at the first miss and at the clock limit --
+                        # exactly where scalar dispatch would leave the
+                        # fused-hit fast path or the window.
+                        hitv = tags1[psets[pos:nxt_end]] == plines[pos:nxt_end]
+                        nhit = int(hitv.argmin())
+                        if hitv[nhit]:
+                            nhit = nxt_end - pos
+                        if nhit:
+                            if pos:
+                                prev_c = int(pccost[pos - 1])
+                                prev_r = int(pcl1r[pos - 1])
+                            else:
+                                prev_c = prev_r = 0
+                            if limit != INF:
+                                ncut = int(pccost[pos:nxt_end].searchsorted(
+                                    limit - now + prev_c)) + 1
+                                if ncut < nhit:
+                                    nhit = ncut
+                            last = pos + nhit - 1
+                            delta = int(pccost[last]) - prev_c
+                            busy_acc += delta
+                            now += delta
+                            l1_acc += int(pcl1r[last]) - prev_r
+                            pos = last + 1
+                            batched_rows += nhit
+                            batched_disp += 1
+                            if now >= limit:
+                                clocks[cpu] = now
+                                cursors[cpu] = pos
+                                run_idx[cpu] = ri
+                                run_starts[cpu] = nxt_start
+                                run_ends[cpu] = nxt_end
+                                break
+                            continue
+                        # First row of the remainder misses: dispatch it
+                        # through the inline tier below, then re-enter.
+                    elif pos >= nxt_end:
+                        ri += 1
+                        if ri < n_runs:
+                            nxt_start = prs[ri]
+                            nxt_end = pre[ri]
+                        else:
+                            nxt_start = nxt_end = INF
+
+                kind = tk[pos]
+
+                if kind == 0:  # EV_READ (+ fused trailing busy/hit run)
+                    line1 = pl[pos]
+                    if line1 >= 0:
+                        # Inline tier: NumaMachine.read's single-line hot
+                        # path with the plan's precomputed line tag, word
+                        # count (pmr: words + fused hits), and retire cost
+                        # (pmc: 1 + fused busy cycles).
+                        l1_acc += pmr[pos]
+                        ways = cpu_l1[line1 & l1_mask]
+                        if line1 in ways:
+                            if ways[0] != line1:
+                                ways.remove(line1)
+                                ways.insert(0, line1)
+                            cost = pmc[pos]
+                            busy_acc += cost
+                            now += cost
+                        else:
+                            cls = tc[pos]
+                            l1rm[cls][
+                                0 if line1 not in seen1
+                                else 2 if line1 in inv1 else 1
+                            ] += 1
+                            line2 = line1 >> ratio_shift
+                            l2r_acc += 1
+                            ways2 = cpu_l2[line2 & l2_mask]
+                            if line2 in ways2:
+                                if ways2[0] != line2:
+                                    ways2.remove(line2)
+                                    ways2.insert(0, line2)
+                                stall = lat_l2
+                            else:
+                                l2rm[cls][
+                                    0 if line2 not in seen2
+                                    else 2 if line2 in inv2 else 1
+                                ] += 1
+                                home = home_fn(line2 << l2_shift)
+                                owner = dirty_get(line2)
+                                if owner is not None and owner != cpu:
+                                    stall = lat_2hop if home == cpu \
+                                        else lat_3hop
+                                    del dirty[line2]
+                                else:
+                                    stall = lat_local if home == cpu \
+                                        else lat_2hop
+                                holders = sharers.get(line2)
+                                if holders is None:
+                                    # repro: allow[HOT001] only on L2 miss
+                                    sharers[line2] = {cpu}
+                                else:
+                                    holders.add(cpu)
+                                ways2.insert(0, line2)
+                                seen2.add(line2)
+                                inv2.discard(line2)
+                                if len(ways2) > l2_assoc:
+                                    evict_l2(cpu, ways2.pop())
+                                if stall > lat_l2:
+                                    # Demand fill from beyond the L2 queues
+                                    # behind in-flight fills on this node's
+                                    # memory port.
+                                    wait = port_free[cpu] - now
+                                    if wait > 0:
+                                        stall += wait
+                                    port_free[cpu] = now + stall
+                            ways.insert(0, line1)
+                            seen1.add(line1)
+                            inv1.discard(line1)
+                            if len(ways) > l1_assoc:
+                                ways.pop()
+                            if tags1 is not None:
+                                tags1[line1 & l1_mask] = line1
+                            mem_by_class[cls] += stall
+                            cost = pmc[pos]
+                            busy_acc += cost
+                            now += cost + stall
+                        pos += 1
+                    else:
+                        # Line-crossing load: NumaMachine.read's multi-line
+                        # path with _read_line inlined per primary line
+                        # (tuple copies average ~2-4 lines; the per-line
+                        # method call was the next-hottest cost after the
+                        # single-line paths moved inline).
+                        scalar_rows += 1
+                        addr = ta[pos]
+                        size = tb[pos]
+                        cls = tc[pos]
+                        first = addr >> l1_shift
+                        last = (addr + size - 1) >> l1_shift
+                        nlines = last - first + 1
+                        words = (size + 3) >> 2
+                        if words > nlines:
+                            l1_acc += words - nlines
+                        stall = 0
+                        while True:
+                            l1_acc += 1
+                            ways = cpu_l1[first & l1_mask]
+                            if first in ways:
+                                if ways[0] != first:
+                                    ways.remove(first)
+                                    ways.insert(0, first)
+                            else:
+                                l1rm[cls][
+                                    0 if first not in seen1
+                                    else 2 if first in inv1 else 1
+                                ] += 1
+                                line2 = first >> ratio_shift
+                                l2r_acc += 1
+                                ways2 = cpu_l2[line2 & l2_mask]
+                                if line2 in ways2:
+                                    if ways2[0] != line2:
+                                        ways2.remove(line2)
+                                        ways2.insert(0, line2)
+                                    lat = lat_l2
+                                else:
+                                    l2rm[cls][
+                                        0 if line2 not in seen2
+                                        else 2 if line2 in inv2 else 1
+                                    ] += 1
+                                    home = home_fn(line2 << l2_shift)
+                                    owner = dirty_get(line2)
+                                    if owner is not None and owner != cpu:
+                                        lat = lat_2hop if home == cpu \
+                                            else lat_3hop
+                                        del dirty[line2]
+                                    else:
+                                        lat = lat_local if home == cpu \
+                                            else lat_2hop
+                                    holders = sharers.get(line2)
+                                    if holders is None:
+                                        # repro: allow[HOT001] only on L2 miss
+                                        sharers[line2] = {cpu}
+                                    else:
+                                        holders.add(cpu)
+                                    ways2.insert(0, line2)
+                                    seen2.add(line2)
+                                    inv2.discard(line2)
+                                    if len(ways2) > l2_assoc:
+                                        evict_l2(cpu, ways2.pop())
+                                    if lat > lat_l2:
+                                        # Fill queues behind in-flight fills
+                                        # on this node's memory port.
+                                        now_l = now + stall
+                                        wait = port_free[cpu] - now_l
+                                        if wait > 0:
+                                            lat += wait
+                                        port_free[cpu] = now_l + lat
+                                ways.insert(0, first)
+                                seen1.add(first)
+                                inv1.discard(first)
+                                if len(ways) > l1_assoc:
+                                    ways.pop()
+                                if tags1 is not None:
+                                    tags1[first & l1_mask] = first
+                                stall += lat
+                            if first >= last:
+                                break
+                            first += 1
+                        if stall:
+                            mem_by_class[cls] += stall
+                        inert = td[pos]
+                        busy_acc += 1 + inert
+                        now += 1 + stall + inert
+                        l1_acc += te[pos]
+                        pos += 1
+                elif kind == 1:  # EV_WRITE (+ fused trailing busy/hit run)
+                    line1 = pl[pos]
+                    if line1 >= 0:
+                        # Inline tier: NumaMachine.write's single-line hot
+                        # path, including the write-buffer issue.
+                        size = tb[pos]
+                        l1w_acc += 1 if size <= 4 else (size + 3) >> 2
+                        line2 = line1 >> ratio_shift
+                        ways = cpu_l1[line1 & l1_mask]
+                        if line1 in ways and ways[0] != line1:
+                            ways.remove(line1)
+                            ways.insert(0, line1)
+                        ways2 = cpu_l2[line2 & l2_mask]
+                        if line2 in ways2:
+                            if ways2[0] != line2:
+                                ways2.remove(line2)
+                                ways2.insert(0, line2)
+                            if dirty_get(line2) == cpu:
+                                retire = wb_retire
+                            else:
+                                # Upgrade: ask the home directory,
+                                # invalidate other copies.
+                                home = home_fn(line2 << l2_shift)
+                                retire = lat_local if home == cpu \
+                                    else lat_2hop
+                                inval_others(cpu, line2)
+                        else:
+                            l2wm_acc += 1
+                            home = home_fn(line2 << l2_shift)
+                            owner = dirty_get(line2)
+                            if owner is not None and owner != cpu:
+                                retire = lat_2hop if home == cpu \
+                                    else lat_3hop
+                            else:
+                                retire = lat_local if home == cpu \
+                                    else lat_2hop
+                            inval_others(cpu, line2)
+                            ways2.insert(0, line2)
+                            seen2.add(line2)
+                            inv2.discard(line2)
+                            if len(ways2) > l2_assoc:
+                                evict_l2(cpu, ways2.pop())
+                        # Write-buffer issue (inlined WriteBuffer.issue);
+                        # wb state stays on the object because lock rows
+                        # reach it through machine.write mid-window.
+                        while wb_entries and wb_entries[0] <= now:
+                            wb_pop()
+                        stall = 0
+                        if len(wb_entries) >= wb_cap:
+                            oldest = wb_pop()
+                            if oldest > now:
+                                stall = oldest - now
+                                wb.stall_cycles += stall
+                        completion = wb._last_completion
+                        issue_time = now + stall
+                        if issue_time > completion:
+                            completion = issue_time
+                        completion += retire
+                        wb._last_completion = completion
+                        wb_app(completion)
+                        cost = pmc[pos]
+                        busy_acc += cost
+                        if stall:
+                            mem_by_class[tc[pos]] += stall
+                            now += cost + stall
+                        else:
+                            now += cost
+                        l1_acc += pmr[pos]
+                        pos += 1
+                    else:
+                        # Line-crossing store: NumaMachine.write's
+                        # multi-line path with _write_line inlined per
+                        # primary line (tuple stores average ~4 lines).
+                        scalar_rows += 1
+                        addr = ta[pos]
+                        size = tb[pos]
+                        cls = tc[pos]
+                        first = addr >> l1_shift
+                        last = (addr + size - 1) >> l1_shift
+                        nlines = last - first + 1
+                        words = (size + 3) >> 2
+                        if words > nlines:
+                            l1w_acc += words - nlines
+                        stall = 0
+                        while True:
+                            l1w_acc += 1
+                            now_l = now + stall
+                            ways = cpu_l1[first & l1_mask]
+                            if first in ways and ways[0] != first:
+                                ways.remove(first)
+                                ways.insert(0, first)
+                            line2 = first >> ratio_shift
+                            ways2 = cpu_l2[line2 & l2_mask]
+                            if line2 in ways2:
+                                if ways2[0] != line2:
+                                    ways2.remove(line2)
+                                    ways2.insert(0, line2)
+                                if dirty_get(line2) == cpu:
+                                    retire = wb_retire
+                                else:
+                                    # Upgrade: ask the home directory,
+                                    # invalidate other copies.
+                                    home = home_fn(line2 << l2_shift)
+                                    retire = lat_local if home == cpu \
+                                        else lat_2hop
+                                    inval_others(cpu, line2)
+                            else:
+                                l2wm_acc += 1
+                                home = home_fn(line2 << l2_shift)
+                                owner = dirty_get(line2)
+                                if owner is not None and owner != cpu:
+                                    retire = lat_2hop if home == cpu \
+                                        else lat_3hop
+                                else:
+                                    retire = lat_local if home == cpu \
+                                        else lat_2hop
+                                inval_others(cpu, line2)
+                                ways2.insert(0, line2)
+                                seen2.add(line2)
+                                inv2.discard(line2)
+                                if len(ways2) > l2_assoc:
+                                    evict_l2(cpu, ways2.pop())
+                            # Write-buffer issue at this line's clock.
+                            while wb_entries and wb_entries[0] <= now_l:
+                                wb_pop()
+                            wstall = 0
+                            if len(wb_entries) >= wb_cap:
+                                oldest = wb_pop()
+                                if oldest > now_l:
+                                    wstall = oldest - now_l
+                                    wb.stall_cycles += wstall
+                            completion = wb._last_completion
+                            issue_time = now_l + wstall
+                            if issue_time > completion:
+                                completion = issue_time
+                            completion += retire
+                            wb._last_completion = completion
+                            wb_app(completion)
+                            stall += wstall
+                            if first >= last:
+                                break
+                            first += 1
+                        inert = td[pos]
+                        busy_acc += 1 + inert
+                        if stall:
+                            mem_by_class[cls] += stall
+                            now += 1 + stall + inert
+                        else:
+                            now += 1 + inert
+                        l1_acc += te[pos]
+                        pos += 1
+                elif kind == 2:  # EV_BUSY (already coalesced at record time)
+                    scalar_rows += 1
+                    cycles = ta[pos]
+                    busy_acc += cycles
+                    now += cycles
+                    pos += 1
+                elif kind == 5:  # EV_HIT: always-hit stack/static references
+                    scalar_rows += 1
+                    count = ta[pos]
+                    busy_acc += count
+                    l1_acc += count
+                    now += count
+                    pos += 1
+                elif kind == 3:  # EV_LOCK_ACQ
+                    lock_id = lock_ids[ta[pos]]
+                    addr = tb[pos]
+                    cls = tc[pos]
+                    holder = lock_holder.get(lock_id)
+                    if holder == cpu:
+                        raise LockProtocolError(
+                            f"cpu {cpu} re-acquired spinlock {lock_id!r}"
+                        )
+                    if holder is None:
+                        scalar_rows += 1
+                        cost = 2
+                        cost += mread(cpu, addr, 4, cls, now)
+                        cost += mwrite(cpu, addr, 4, cls, now + cost)
+                        msync_acc += cost
+                        now += cost
+                        lock_holder[lock_id] = cpu
+                        pos += 1
+                    else:
+                        # Spin and retry: the cursor stays on this event,
+                        # so the next dispatch re-attempts the acquire --
+                        # and the new clock is never below the holder's,
+                        # so the retry always rescans first.
+                        wait = spin_interval
+                        holder_clock = clocks[holder]
+                        if holder_clock > now + wait:
+                            wait = holder_clock - now
+                        wait += mread(cpu, addr, 4, cls, now)
+                        msync_acc += wait
+                        now += wait
+                        retry_acc += 1
+                else:  # EV_LOCK_REL (kind == 4)
+                    scalar_rows += 1
+                    lock_id = lock_ids[ta[pos]]
+                    addr = tb[pos]
+                    cls = tc[pos]
+                    if lock_holder.get(lock_id) != cpu:
+                        raise LockProtocolError(
+                            f"cpu {cpu} released spinlock {lock_id!r} "
+                            "it does not hold"
+                        )
+                    del lock_holder[lock_id]
+                    cost = 1 + mwrite(cpu, addr, 4, cls, now)
+                    msync_acc += cost
+                    now += cost
+                    pos += 1
+
+                if now >= limit:
+                    clocks[cpu] = now
+                    cursors[cpu] = pos
+                    run_idx[cpu] = ri
+                    run_starts[cpu] = nxt_start
+                    run_ends[cpu] = nxt_end
+                    break
+
+            stats.events += (pos - start_pos) + retry_acc
+            stats.busy += busy_acc
+            stats.msync += msync_acc
+            if l1_acc:
+                mstats.l1_reads += l1_acc
+            if l1w_acc:
+                mstats.l1_writes += l1w_acc
+            if l2r_acc:
+                mstats.l2_reads += l2r_acc
+            if l2wm_acc:
+                mstats.l2_write_misses += l2wm_acc
+
+        elapsed = perf_counter() - t0
+        reg = _registry()
+        reg.counter("interleave.kernel.batched.runs").inc()
+        reg.counter("interleave.kernel.batched.seconds").inc(elapsed)
+        reg.counter("interleave.batch.rows").inc(batched_rows)
+        reg.counter("interleave.batch.dispatches").inc(batched_disp)
+        reg.counter("interleave.batch.inline_rows").inc(
+            total_rows - batched_rows - scalar_rows)
+        reg.counter("interleave.batch.scalar_rows").inc(scalar_rows)
+        if _obs_enabled():
+            _note_run("run_traces", cpu_stats, elapsed)
         return RunResult(machine, cpu_stats)
