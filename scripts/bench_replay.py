@@ -1,33 +1,50 @@
-"""Replay-kernel benchmark: scalar vs batched wall time on warm traces.
+"""Replay-kernel benchmark: scalar vs batched vs horizon on warm traces.
 
-Times :meth:`Interleaver.run_traces` under both dispatch kernels over the
-same recorded traces (one query per processor, the scale's baseline
-machine) and writes a schema-versioned JSON report::
+Times :meth:`Interleaver.run_traces` under all three dispatch kernels
+over the same recorded traces (one query per processor, the scale's
+baseline machine) and writes a schema-versioned JSON report::
 
     PYTHONPATH=src python scripts/bench_replay.py --scale small \\
-        --trace-dir ~/.cache/repro-traces --out BENCH_replay.json
+        --trace-dir ~/.cache/repro-traces --out bench-report.json
 
-With ``--check BASELINE`` the measured aggregate speedup is gated against
-the committed baseline's ``gate.min_speedup`` floor (exit 1 below it), so
-CI catches a batched-kernel regression without chasing absolute seconds
-across runner hardware.  The committed baseline
-(``benchmarks/BENCH_replay.json``) records the numbers measured on the
-development machine; refresh it with ``--out`` after deliberate kernel
-work, and keep the floor at a value the change actually measured.
+Batch plans and the horizon sharing schedule are built outside the
+timers: a sweep pays them once per trace combination, so the
+steady-state dispatch cost is the number a kernel change moves.
+
+With ``--check BASELINE`` the measured aggregate horizon speedup is
+gated against the committed baseline's ``gate.min_speedup`` floor
+(exit 1 below it), so CI catches a replay-kernel regression without
+chasing absolute seconds across runner hardware.  The committed
+baseline (``benchmarks/BENCH_replay.json``) records the numbers
+measured on the development machine; refresh it with ``--out`` after
+deliberate kernel work, and keep the floor at a value the change
+actually measured.
+
+Each run also appends a one-line trajectory entry (timestamp, totals,
+speedups) to a repo-root ``BENCH_replay.json``, so the kernels' history
+accumulates across PRs; point it elsewhere or disable it with
+``--trajectory``.
 """
 
 import argparse
 import json
+import os
 import platform
 import sys
+from datetime import datetime, timezone
 from time import perf_counter
 
-SCHEMA = "repro.bench_replay/1"
+SCHEMA = "repro.bench_replay/2"
+TRAJ_SCHEMA = "repro.bench_replay_traj/1"
 DEFAULT_QUERIES = ["Q1", "Q3", "Q6", "Q12", "Q17"]
+DEFAULT_TRAJECTORY = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_replay.json")
 
 
 def bench_query(qid, scale, cache, n_procs, reps):
     from repro.db.shmem import shared_home_fn
+    from repro.memsim.horizon import horizon_schedule
     from repro.memsim.interleave import Interleaver
     from repro.memsim.numa import NumaMachine
 
@@ -35,8 +52,15 @@ def bench_query(qid, scale, cache, n_procs, reps):
               for i in range(n_procs)]
     rows = sum(len(t) for t in traces)
     config = scale.machine_config()
+    # Warm the per-trace plans and the combined sharing schedule before
+    # any timer starts: a sweep pays them once per trace combination.
+    probe = NumaMachine(config, home_fn=shared_home_fn())
+    shift = config.l1_line.bit_length() - 1
+    for t in traces:
+        t.batch_plan(shift, probe._l1_nsets)
+    horizon_schedule(traces, probe._l2_shift)
     out = {"rows": rows}
-    for kernel in ("scalar", "batched"):
+    for kernel in ("scalar", "batched", "horizon"):
         times = []
         for _ in range(reps):
             machine = NumaMachine(config, home_fn=shared_home_fn())
@@ -44,7 +68,9 @@ def bench_query(qid, scale, cache, n_procs, reps):
             Interleaver(machine).run_traces(traces, kernel=kernel)
             times.append(perf_counter() - t0)
         out[f"{kernel}_s"] = round(min(times), 4)
-    out["speedup"] = round(out["scalar_s"] / out["batched_s"], 3) \
+    out["speedup"] = round(out["scalar_s"] / out["horizon_s"], 3) \
+        if out["horizon_s"] else 0.0
+    out["batched_speedup"] = round(out["scalar_s"] / out["batched_s"], 3) \
         if out["batched_s"] else 0.0
     return out
 
@@ -59,7 +85,7 @@ def check(report, baseline_path):
     floor = baseline["gate"]["min_speedup"]
     measured = report["total"]["speedup"]
     if measured < floor:
-        print(f"FAIL: aggregate batched speedup {measured:.2f}x is below "
+        print(f"FAIL: aggregate horizon speedup {measured:.2f}x is below "
               f"the gate floor {floor:.2f}x (baseline measured "
               f"{baseline['total']['speedup']:.2f}x)", file=sys.stderr)
         return 1
@@ -68,9 +94,36 @@ def check(report, baseline_path):
     return 0
 
 
+def append_trajectory(path, report):
+    """Append one compact JSON line summarizing this run to ``path``.
+
+    The file is newline-delimited JSON (one entry per bench run), so the
+    kernels' performance history accumulates across PRs without merge
+    conflicts on a pretty-printed blob.
+    """
+    entry = {
+        "schema": TRAJ_SCHEMA,
+        "when": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": report["scale"],
+        "n_procs": report["n_procs"],
+        "reps": report["reps"],
+        "python": report["python"],
+        "rows": report["total"]["rows"],
+        "scalar_s": report["total"]["scalar_s"],
+        "batched_s": report["total"]["batched_s"],
+        "horizon_s": report["total"]["horizon_s"],
+        "speedup": report["total"]["speedup"],
+        "batched_speedup": report["total"]["batched_speedup"],
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"trajectory entry appended to {path}")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Benchmark the replay kernels (scalar vs batched).")
+        description="Benchmark the replay kernels "
+                    "(scalar vs batched vs horizon).")
     parser.add_argument("--scale", default="small")
     parser.add_argument("--queries", default=",".join(DEFAULT_QUERIES),
                         help="comma-separated query ids")
@@ -90,6 +143,11 @@ def main(argv=None):
     parser.add_argument("--check", default=None, metavar="BASELINE",
                         help="gate the aggregate speedup against a "
                              "committed baseline report")
+    parser.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                        metavar="FILE",
+                        help="append a one-line run summary to FILE "
+                             "(default: repo-root BENCH_replay.json; "
+                             "'none' disables)")
     args = parser.parse_args(argv)
 
     from repro.core.experiment import set_trace_dir, workload_trace_cache
@@ -97,9 +155,9 @@ def main(argv=None):
     from repro.tpcd.scales import get_scale
 
     if not HAVE_NUMPY:
-        print("numpy is not importable: the batched kernel would fall back "
-              "to scalar and the comparison would be meaningless; install "
-              "the 'perf' extra first", file=sys.stderr)
+        print("numpy is not importable: the batched and horizon kernels "
+              "would fall back to scalar and the comparison would be "
+              "meaningless; install the 'perf' extra first", file=sys.stderr)
         return 2
 
     if args.trace_dir:
@@ -117,25 +175,28 @@ def main(argv=None):
         "queries": {},
     }
     print(f"{'query':8s} {'rows':>9s} {'scalar':>8s} {'batched':>8s} "
-          f"{'speedup':>8s}")
+          f"{'horizon':>8s} {'speedup':>8s}")
     for qid in queries:
         result = bench_query(qid, scale, cache, args.procs, args.reps)
         report["queries"][qid] = result
         print(f"{qid:8s} {result['rows']:9d} {result['scalar_s']:8.3f} "
-              f"{result['batched_s']:8.3f} {result['speedup']:7.2f}x")
-    total_scalar = round(sum(q["scalar_s"]
-                             for q in report["queries"].values()), 4)
-    total_batched = round(sum(q["batched_s"]
-                              for q in report["queries"].values()), 4)
+              f"{result['batched_s']:8.3f} {result['horizon_s']:8.3f} "
+              f"{result['speedup']:7.2f}x")
+    totals = {}
+    for kernel in ("scalar", "batched", "horizon"):
+        totals[f"{kernel}_s"] = round(
+            sum(q[f"{kernel}_s"] for q in report["queries"].values()), 4)
     report["total"] = {
         "rows": sum(q["rows"] for q in report["queries"].values()),
-        "scalar_s": total_scalar,
-        "batched_s": total_batched,
-        "speedup": round(total_scalar / total_batched, 3)
-        if total_batched else 0.0,
+        **totals,
+        "speedup": round(totals["scalar_s"] / totals["horizon_s"], 3)
+        if totals["horizon_s"] else 0.0,
+        "batched_speedup": round(totals["scalar_s"] / totals["batched_s"], 3)
+        if totals["batched_s"] else 0.0,
     }
-    print(f"{'total':8s} {report['total']['rows']:9d} {total_scalar:8.3f} "
-          f"{total_batched:8.3f} {report['total']['speedup']:7.2f}x")
+    print(f"{'total':8s} {report['total']['rows']:9d} "
+          f"{totals['scalar_s']:8.3f} {totals['batched_s']:8.3f} "
+          f"{totals['horizon_s']:8.3f} {report['total']['speedup']:7.2f}x")
 
     if args.gate_floor is not None:
         report["gate"] = {"min_speedup": args.gate_floor}
@@ -144,6 +205,8 @@ def main(argv=None):
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.out}")
+    if args.trajectory and args.trajectory != "none":
+        append_trajectory(args.trajectory, report)
     if args.check:
         return check(report, args.check)
     return 0

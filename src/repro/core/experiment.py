@@ -112,15 +112,18 @@ def clear_caches():
 
     Long sessions (pytest runs, sweep drivers) otherwise accumulate one
     database build and one trace set per ``(scale, seed)`` touched.  Also
-    covers the sweep driver's ablation-variant cache.
+    covers the sweep driver's ablation-variant cache and the horizon
+    kernel's combined-schedule memo (which holds trace references).
     """
     from repro.core.sweep import clear_variant_cache
+    from repro.memsim.horizon import clear_memo
 
     _DB_CACHE.clear()
     for cache in _TRACE_CACHE.values():
         cache.clear()
     _TRACE_CACHE.clear()
     clear_variant_cache()
+    clear_memo()
 
 
 def _resolve_trace_cache(trace_cache, scale, db):

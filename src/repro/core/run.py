@@ -44,7 +44,8 @@ class RunConfig:
     executor; ``strict_store`` makes damaged store entries fatal;
     ``report_out`` and ``progress`` drive the observability layer
     (:mod:`repro.obs`); ``kernel`` picks the replay dispatch engine
-    (``auto``/``batched``/``scalar``; see :mod:`repro.memsim.batch`).
+    (``auto``/``batched``/``horizon``/``scalar``; see
+    :mod:`repro.memsim.batch` and :mod:`repro.memsim.horizon`).
     """
 
     scale: str = "small"
