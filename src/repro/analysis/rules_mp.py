@@ -24,6 +24,16 @@ MP003 (file rule)
     (``os.getpid``/``uuid``/``mkstemp``...): two workers writing the same
     temp name race on rename.  ``tracestore.save_trace`` shows the
     sanctioned shape: ``path + f".tmp.{os.getpid()}"``.
+MP004 (file rule)
+    ``pickle``/``marshal`` used inside the worker-fabric modules
+    (``repro/core/backend.py``, ``repro/core/worker.py``).  The fabric's
+    contract is ship-by-hash: traces cross the process boundary as store
+    keys resolved against the spool directory, never as serialized
+    arrays -- pickling them reintroduces the payload-on-the-pipe cost
+    the backend exists to avoid, and pickled frames would not survive
+    the protocol's CRC/JSON framing.  (``tracestore`` itself may pickle
+    result rows inside its checksummed on-disk format; that is the
+    sanctioned serialization layer.)
 
 MP001 needs the whole program, so fact collection is split from
 judgement: :func:`collect_facts` runs per file (in the parallel workers)
@@ -426,5 +436,54 @@ class UnguardedTempPathRule:
         return out
 
 
-FILE_RULES = [PoolLocalCallableRule(), UnguardedTempPathRule()]
+class BareTracePickleRule:
+    """MP004 -- see the module docstring: ship-by-hash enforcement for the
+    worker fabric."""
+
+    id = "MP004"
+    title = "bare pickle in ship-by-hash backend code"
+
+    #: Path fragments (posix) the rule applies to.
+    SCOPE = ("repro/core/backend.py", "repro/core/worker.py")
+
+    #: Serialization entry points that move live objects as bytes.
+    _FORBIDDEN = {"pickle", "cPickle", "marshal", "dill", "cloudpickle"}
+
+    def check(self, model):
+        path = model.path.replace("\\", "/")
+        if not any(path.endswith(fragment) for fragment in self.SCOPE):
+            return []
+        out = []
+        for node in ast.walk(model.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in self._FORBIDDEN:
+                        out.append(model.finding(
+                            self.id, node,
+                            f"import of '{alias.name}' in backend code: "
+                            "the worker fabric ships traces by store key "
+                            "(spool + load_trace), never as pickled "
+                            "arrays"))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in self._FORBIDDEN:
+                    out.append(model.finding(
+                        self.id, node,
+                        f"import from '{node.module}' in backend code: "
+                        "the worker fabric ships traces by store key "
+                        "(spool + load_trace), never as pickled arrays"))
+            elif isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                if chain and chain.split(".", 1)[0] in self._FORBIDDEN:
+                    out.append(model.finding(
+                        self.id, node,
+                        f"'{chain}' call in backend code: trace payloads "
+                        "must cross the process boundary as store keys, "
+                        "not serialized objects"))
+        return out
+
+
+FILE_RULES = [PoolLocalCallableRule(), UnguardedTempPathRule(),
+              BareTracePickleRule()]
 PROJECT_RULES = [WorkerGlobalWriteRule()]

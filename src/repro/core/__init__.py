@@ -26,17 +26,31 @@ from repro.core.experiment import (
     workload_database,
     workload_trace_cache,
 )
+from repro.core.backend import (
+    InProcessBackend,
+    PoolBackend,
+    SweepBackend,
+    WorkerBackend,
+    fabric_stats,
+)
 from repro.core.checkpoint import CheckpointJournal
 from repro.core.errors import (
     CheckpointError,
     InvalidPointResult,
+    LeaseExpired,
+    LedgerError,
     PointFailure,
     PointTimeout,
+    RemoteWorkerError,
     ReproError,
     SweepError,
     TraceStoreError,
     TraceStoreWarning,
+    WorkerError,
+    WorkerProtocolError,
+    is_retryable,
 )
+from repro.core.ledger import LeaseLedger
 from repro.core.report import format_table, normalize, percent
 from repro.core.locality import LocalityReport, analyze, analyze_query
 from repro.core.parallel import run_intra_query_workload
@@ -60,14 +74,26 @@ __all__ = [
     "run_experiments",
     "MetricsRegistry",
     "CheckpointJournal",
+    "LeaseLedger",
+    "SweepBackend",
+    "InProcessBackend",
+    "PoolBackend",
+    "WorkerBackend",
+    "fabric_stats",
     "CheckpointError",
     "InvalidPointResult",
+    "LeaseExpired",
+    "LedgerError",
     "PointFailure",
     "PointTimeout",
+    "RemoteWorkerError",
     "ReproError",
     "SweepError",
     "TraceStoreError",
     "TraceStoreWarning",
+    "WorkerError",
+    "WorkerProtocolError",
+    "is_retryable",
     "configure_sweep",
     "supervisor_stats",
     "LocalityReport",

@@ -13,7 +13,7 @@ exactly).
 The format follows the trace store's discipline (:mod:`repro.core.tracestore`):
 self-describing framed records, each independently checksummed::
 
-    bytes 0..3    magic  b"RPCJ"
+    bytes 0..3    magic  (b"RPCJ" here; the lease ledger uses b"RPLL")
     bytes 4..7    format version (u32, little-endian)
     bytes 8..11   payload length P (u32)
     bytes 12..    payload: UTF-8 JSON {"key": [...], "summary": {...}}
@@ -23,6 +23,11 @@ Appends are flushed and fsynced record by record, so the only loss mode a
 crash can produce is a truncated *tail*.  Loading stops at the first
 damaged record, warns, and truncates the file back to the last good
 record -- an interrupted writer never poisons later appends.
+
+The framing itself (:func:`pack_record`, :func:`parse_record`,
+:func:`iter_records`) is shared with the lease ledger
+(:mod:`repro.core.ledger`), which journals *work-queue state transitions*
+(claim/heartbeat/complete/abandon) under the same durability contract.
 """
 
 import json
@@ -54,6 +59,53 @@ def _plain(obj):
 def canonical_key(key):
     """The canonical string identity of a point key (tuple/list agnostic)."""
     return json.dumps(_plain(key), separators=(",", ":"))
+
+
+# -- shared record framing -------------------------------------------------
+
+def pack_record(magic, version, payload_obj):
+    """Frame one JSON-able payload as a self-checksummed record."""
+    payload = json.dumps(payload_obj, separators=(",", ":")).encode()
+    return (_PREFIX.pack(magic, version, len(payload))
+            + payload + _CRC.pack(zlib.crc32(payload)))
+
+
+def parse_record(data, offset, magic, version):
+    """``(end_offset, payload_dict)`` for the record at ``offset``, or
+    ``None`` on any damage (truncation, bad magic/version/CRC/JSON)."""
+    if offset + _PREFIX.size > len(data):
+        return None
+    got_magic, got_version, payload_len = _PREFIX.unpack_from(data, offset)
+    if got_magic != magic or got_version != version:
+        return None
+    start = offset + _PREFIX.size
+    end = start + payload_len + _CRC.size
+    if end > len(data):
+        return None
+    payload = data[start:start + payload_len]
+    (crc,) = _CRC.unpack_from(data, start + payload_len)
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        obj = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict):
+        return None
+    return end, obj
+
+
+def iter_records(data, magic, version):
+    """Yield ``(end_offset, payload_dict)`` for every good record, in
+    order, stopping at the first damaged one.  The caller truncates back
+    to the last yielded ``end_offset`` to repair a damaged tail."""
+    offset = 0
+    while offset < len(data):
+        record = parse_record(data, offset, magic, version)
+        if record is None:
+            return
+        yield record
+        offset = record[0]
 
 
 class CheckpointJournal:
@@ -95,15 +147,14 @@ class CheckpointJournal:
                 f"cannot read checkpoint journal {self.path!r}: {exc}"
             ) from exc
         good = 0
-        offset = 0
         total = len(data)
-        while offset < total:
-            record = self._parse_record(data, offset)
-            if record is None:
+        for end, payload in iter_records(data, MAGIC, FORMAT_VERSION):
+            try:
+                key, summary = payload["key"], payload["summary"]
+            except KeyError:
                 break
-            end, key, summary = record
             self.entries[canonical_key(key)] = summary
-            good = offset = end
+            good = end
         if good < total:
             self.damaged += 1
             warnings.warn(
@@ -115,37 +166,12 @@ class CheckpointJournal:
             with open(self.path, "r+b") as fh:
                 fh.truncate(good)
 
-    @staticmethod
-    def _parse_record(data, offset):
-        """``(end_offset, key, summary)`` for the record at ``offset``, or
-        ``None`` on any damage (truncation, bad magic/version/CRC/JSON)."""
-        if offset + _PREFIX.size > len(data):
-            return None
-        magic, version, payload_len = _PREFIX.unpack_from(data, offset)
-        if magic != MAGIC or version != FORMAT_VERSION:
-            return None
-        start = offset + _PREFIX.size
-        end = start + payload_len + _CRC.size
-        if end > len(data):
-            return None
-        payload = data[start:start + payload_len]
-        (crc,) = _CRC.unpack_from(data, start + payload_len)
-        if zlib.crc32(payload) != crc:
-            return None
-        try:
-            record = json.loads(payload.decode())
-            return end, record["key"], record["summary"]
-        except (ValueError, UnicodeDecodeError, KeyError, TypeError):
-            return None
-
     # -- writing -----------------------------------------------------------
 
     def append(self, key, summary):
         """Durably record one completed point (flush + fsync per record)."""
-        payload = json.dumps({"key": _plain(key), "summary": summary},
-                             separators=(",", ":")).encode()
-        record = (_PREFIX.pack(MAGIC, FORMAT_VERSION, len(payload))
-                  + payload + _CRC.pack(zlib.crc32(payload)))
+        record = pack_record(MAGIC, FORMAT_VERSION,
+                             {"key": _plain(key), "summary": summary})
         with span("checkpoint-append", bytes=len(record)):
             try:
                 self._fh.write(record)

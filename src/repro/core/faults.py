@@ -33,6 +33,34 @@ workers (:func:`maybe_inject` is called from the worker task body), never
 in the supervising parent, so degraded in-process execution of a
 persistently failing point completes.
 
+The worker backend (:mod:`repro.core.backend`) adds *worker-targeted*
+kinds that attack the fabric instead of the computation -- same
+``kind@index[*attempts]`` grammar, fired through :func:`worker_action`
+from inside a ``repro-sweep-worker`` process:
+
+``wstall``
+    the worker suppresses heartbeats for the point -- exercises lease
+    expiry and the parent's stale-worker kill;
+``wpartition``
+    the worker goes completely silent mid-point (no heartbeats, no
+    result), like a network partition -- exercises lease reclaim of a
+    worker that will never answer;
+``wcorrupt``
+    the worker flips a byte inside its result frame after the checksum is
+    computed -- exercises protocol-level damage detection and the
+    kill-and-retry path.
+
+``crash``/``hang``/``raise``/``garbage`` fire in ``repro-sweep-worker``
+processes too (the worker's point runner calls :func:`maybe_inject` like
+a pool task does), so one grammar drives both executors.
+
+Finally, ``chaos@SEED[*PERCENT]`` turns on *seeded randomized chaos*: for
+every ``(point index, attempt)`` not covered by an explicit entry, a
+deterministic per-coordinate RNG fires a fault with probability
+``PERCENT``/100 (default 25), drawn from :data:`CHAOS_MENU`.  The same
+seed always produces the same fault schedule, so a CI job can sweep a
+randomized fault matrix and still assert bit-identical results.
+
 :func:`corrupt_file` is the store-side counterpart: it bit-flips or
 truncates an on-disk artifact (trace-store entry, checkpoint journal) the
 way real disk/writer damage would, deterministically.  It doubles as a
@@ -43,12 +71,29 @@ tiny CLI for the CI smoke job::
 """
 
 import os
+import random
 import time
 
 ENV_VAR = "REPRO_FAULTS"
 ENV_HANG = "REPRO_FAULTS_HANG"
 
-KINDS = ("crash", "hang", "raise", "garbage")
+#: Kinds that corrupt the *computation* (fired by :func:`maybe_inject`).
+COMPUTE_KINDS = ("crash", "hang", "raise", "garbage")
+
+#: Kinds that attack the *worker fabric* (fired by :func:`worker_action`).
+WORKER_KINDS = ("wstall", "wpartition", "wcorrupt")
+
+KINDS = COMPUTE_KINDS + WORKER_KINDS
+
+#: The fault population seeded chaos draws from: every deterministic,
+#: self-limiting kind.  ``hang``/``wpartition`` are excluded -- they need
+#: a point timeout / lease TTL tuned to the run to terminate, which a
+#: randomized schedule cannot assume.
+CHAOS_MENU = ("crash", "raise", "garbage", "wstall", "wcorrupt")
+
+#: Default chaos fire probability (percent) when ``chaos@SEED`` has no
+#: ``*PERCENT`` suffix.
+CHAOS_DEFAULT_PERCENT = 25
 
 #: Exit status of an injected worker crash (visible in pool diagnostics).
 CRASH_EXIT_CODE = 13
@@ -59,18 +104,25 @@ class InjectedFault(RuntimeError):
 
 
 class FaultPlan:
-    """A parsed fault specification: ``{point index: (kind, attempts)}``."""
+    """A parsed fault specification: ``{point index: (kind, attempts)}``,
+    plus an optional seeded-chaos schedule ``(seed, percent)``."""
 
-    def __init__(self, by_index=None, hang_seconds=None):
+    def __init__(self, by_index=None, hang_seconds=None, chaos=None):
         self.by_index = dict(by_index or {})
         if hang_seconds is None:
             hang_seconds = float(os.environ.get(ENV_HANG, "300"))
         self.hang_seconds = hang_seconds
+        self.chaos = chaos
 
     @classmethod
     def parse(cls, spec):
-        """Parse ``"kind@index[*attempts],..."``; raises ``ValueError``."""
+        """Parse ``"kind@index[*attempts],..."``; raises ``ValueError``.
+
+        ``chaos@SEED[*PERCENT]`` entries configure the randomized-but-
+        seeded schedule instead of a per-index fault.
+        """
         by_index = {}
+        chaos = None
         for entry in (spec or "").split(","):
             entry = entry.strip()
             if not entry:
@@ -84,26 +136,55 @@ class FaultPlan:
                 raise ValueError(
                     f"bad {ENV_VAR} entry {entry!r} "
                     "(expected kind@index or kind@index*attempts)") from None
+            if kind == "chaos":
+                percent = count if "*" in rest else CHAOS_DEFAULT_PERCENT
+                if not 1 <= percent <= 100:
+                    raise ValueError(
+                        f"bad {ENV_VAR} entry {entry!r}: chaos percent must "
+                        "be in 1..100")
+                chaos = (index, percent)
+                continue
             if kind not in KINDS:
                 raise ValueError(
                     f"bad {ENV_VAR} entry {entry!r}: unknown kind {kind!r} "
-                    f"(expected one of {', '.join(KINDS)})")
+                    f"(expected one of {', '.join(KINDS)} or chaos)")
             if count < 1:
                 raise ValueError(
                     f"bad {ENV_VAR} entry {entry!r}: attempts must be >= 1")
             by_index[index] = (kind, count)
-        return cls(by_index)
+        return cls(by_index, chaos=chaos)
+
+    def _scheduled(self, index, attempt):
+        """The raw kind for ``(index, attempt)`` from the explicit table,
+        else the seeded chaos schedule, else ``None``."""
+        entry = self.by_index.get(index)
+        if entry is not None:
+            kind, count = entry
+            return kind if attempt < count else None
+        if self.chaos is not None:
+            seed, percent = self.chaos
+            # Per-coordinate RNG: the schedule depends only on (seed,
+            # index, attempt), never on call order -- string seeding is
+            # hash-independent (sha512), so it is stable across processes.
+            rng = random.Random(f"chaos:{seed}:{index}:{attempt}")
+            if rng.random() * 100.0 < percent:
+                return rng.choice(CHAOS_MENU)
+        return None
 
     def action(self, index, attempt):
-        """The fault kind to fire for ``(index, attempt)``, or ``None``."""
-        entry = self.by_index.get(index)
-        if entry is None:
-            return None
-        kind, count = entry
-        return kind if attempt < count else None
+        """The *compute* fault to fire for ``(index, attempt)``, or
+        ``None``.  Worker-fabric kinds are invisible here -- they fire
+        through :func:`worker_action` instead."""
+        kind = self._scheduled(index, attempt)
+        return kind if kind in COMPUTE_KINDS else None
+
+    def worker_action(self, index, attempt):
+        """The *worker-fabric* fault for ``(index, attempt)``, or ``None``."""
+        kind = self._scheduled(index, attempt)
+        return kind if kind in WORKER_KINDS else None
 
     def __bool__(self):
-        return bool(self.by_index)
+        return bool(self.by_index) or self.chaos is not None
 
 
 # -- active plan -----------------------------------------------------------
@@ -166,6 +247,20 @@ def maybe_inject(index, attempt):
         raise InjectedFault(
             f"injected worker failure at point {index} (attempt {attempt})")
     return dict(GARBAGE, point=index, attempt=attempt)
+
+
+def worker_action(index, attempt):
+    """The worker-fabric fault for ``(index, attempt)``, or ``None``.
+
+    Called by ``repro-sweep-worker`` (:mod:`repro.core.worker`) before it
+    computes a point: ``wstall`` suppresses heartbeats, ``wpartition``
+    goes silent, ``wcorrupt`` damages the result frame.  Pool workers
+    never call this -- the fabric kinds have no meaning there.
+    """
+    plan = active_plan()
+    if not plan:
+        return None
+    return plan.worker_action(index, attempt)
 
 
 # -- on-disk damage --------------------------------------------------------

@@ -1,0 +1,367 @@
+"""Lease ledger: the checkpoint journal promoted to a crash-safe work queue.
+
+The plain checkpoint journal (:mod:`repro.core.checkpoint`) records one
+fact -- "this point is done" -- which is enough for single-driver resume
+but invisible to everything in between: a worker that dies mid-point
+leaves no trace, so its work is indistinguishable from work never started.
+The ledger records the *whole lifecycle* of a point as typed, framed,
+individually checksummed records in one append-only file::
+
+    claim      {op, key, worker, pid, t, ttl}     worker took the point
+    heartbeat  {op, key, worker, t}               worker still alive on it
+    complete   {op, key, worker, t, summary}      durable result (fsynced)
+    abandon    {op, key, worker, t, reason}       lease released unfinished
+
+Replaying the records rebuilds the exact work-queue state: ``completed``
+(summaries, bit-identical through JSON exactly like the journal) and
+``leases`` (who holds what, since when, for how long).  A lease is *stale*
+when its holder's pid no longer exists or its TTL has lapsed without a
+heartbeat -- either way the point is reclaimable by anyone, so a worker
+kill, stall, or partition costs one lease TTL, never the sweep.
+
+Durability discipline matches the journal: ``complete`` records are
+flushed and fsynced (a completed point survives any crash); ``claim`` and
+``abandon`` are fsynced too (they gate exactly-once requeue accounting);
+``heartbeat`` records are only flushed -- losing a heartbeat to a crash
+costs nothing but an earlier-looking lease.  Damaged tails are repaired at
+open exactly like the journal.  :meth:`compact` atomically rewrites the
+file keeping every completed summary and live claim, so a long-running
+farm's ledger stays bounded without ever losing resumability.
+"""
+
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.checkpoint import (
+    _plain, canonical_key, iter_records, pack_record,
+)
+from repro.core.errors import LedgerError
+from repro.obs.metrics import registry
+from repro.obs.spans import span
+
+MAGIC = b"RPLL"
+FORMAT_VERSION = 1
+
+LEDGER_NAME = "sweep-ledger.rpll"
+
+#: Default seconds a claim stays exclusive without a heartbeat.
+DEFAULT_LEASE_TTL = 30.0
+
+OPS = ("claim", "heartbeat", "complete", "abandon")
+
+
+@dataclass
+class Lease:
+    """One live claim: who holds the point and how fresh the hold is."""
+
+    worker: str
+    pid: int
+    t: float
+    ttl: float
+
+
+def _pid_alive(pid):
+    """Best-effort liveness: ``False`` only when the pid surely exists not."""
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # pid exists but is not ours (EPERM) -- treat as alive
+    return True
+
+
+class LeaseLedger:
+    """One append-only lease ledger over a sweep's points.
+
+    Journal-compatible on the completed side (``entries`` / :meth:`get` /
+    :meth:`append` mirror :class:`~repro.core.checkpoint.CheckpointJournal`,
+    so ``run_sweep`` can use either interchangeably), plus the lease
+    protocol (:meth:`claim` / :meth:`heartbeat` / :meth:`complete` /
+    :meth:`abandon`) and recovery views (:meth:`stale_leases`,
+    :meth:`reclaim_stale`).
+    """
+
+    def __init__(self, directory, name=LEDGER_NAME,
+                 lease_ttl: float = DEFAULT_LEASE_TTL):
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise LedgerError(
+                f"cannot create ledger directory {directory!r}: {exc}"
+            ) from exc
+        self.path = os.path.join(directory, name)
+        self.lease_ttl = lease_ttl
+        self.completed = {}
+        self.leases = {}
+        self.damaged = 0
+        self._load_and_repair()
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError as exc:
+            raise LedgerError(
+                f"cannot open lease ledger {self.path!r}: {exc}") from exc
+
+    # -- journal-compatible facade ----------------------------------------
+
+    @property
+    def entries(self):
+        """Completed summaries by canonical key (the journal contract)."""
+        return self.completed
+
+    def get(self, key):
+        """The completed summary for ``key``, or ``None``."""
+        return self.completed.get(canonical_key(key))
+
+    def append(self, key, summary):
+        """Journal-compatible completion by the supervising parent."""
+        self.complete(key, summary, worker="parent")
+
+    def __contains__(self, key):
+        return canonical_key(key) in self.completed
+
+    def __len__(self):
+        return len(self.completed)
+
+    # -- loading -----------------------------------------------------------
+
+    def _load_and_repair(self):
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise LedgerError(
+                f"cannot read lease ledger {self.path!r}: {exc}") from exc
+        good = 0
+        total = len(data)
+        for end, payload in iter_records(data, MAGIC, FORMAT_VERSION):
+            if not self._apply(payload):
+                break
+            good = end
+        if good < total:
+            self.damaged += 1
+            warnings.warn(
+                f"lease ledger {self.path}: damaged record at byte {good} "
+                f"(of {total}); keeping {len(self.completed)} completed "
+                f"points and {len(self.leases)} leases, truncating the tail",
+                stacklevel=2)
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good)
+
+    def _apply(self, payload):
+        """Replay one record into the state machine; ``False`` on a record
+        that parses but makes no sense (treated as tail damage)."""
+        op = payload.get("op")
+        if op not in OPS or "key" not in payload:
+            return False
+        ck = canonical_key(payload["key"])
+        worker = payload.get("worker", "?")
+        if op == "claim":
+            if ck not in self.completed:
+                self.leases[ck] = Lease(
+                    worker=worker, pid=int(payload.get("pid") or 0),
+                    t=float(payload.get("t") or 0.0),
+                    ttl=float(payload.get("ttl") or self.lease_ttl))
+        elif op == "heartbeat":
+            lease = self.leases.get(ck)
+            if lease is not None and lease.worker == worker:
+                lease.t = float(payload.get("t") or lease.t)
+        elif op == "complete":
+            if "summary" not in payload:
+                return False
+            self.completed[ck] = payload["summary"]
+            self.leases.pop(ck, None)
+        elif op == "abandon":
+            self.leases.pop(ck, None)
+        return True
+
+    # -- writing -----------------------------------------------------------
+
+    def _write(self, payload, sync):
+        record = pack_record(MAGIC, FORMAT_VERSION, payload)
+        try:
+            self._fh.write(record)
+            self._fh.flush()
+            if sync:
+                os.fsync(self._fh.fileno())
+        except (OSError, ValueError) as exc:
+            raise LedgerError(
+                f"cannot append to lease ledger {self.path!r}: {exc}"
+            ) from exc
+        reg = registry()
+        reg.counter("ledger.appends").inc()
+        reg.counter("ledger.bytes_written").inc(len(record))
+
+    @staticmethod
+    def _now():
+        # Wall clock on purpose: lease timestamps are compared across
+        # processes and across runs (a resumed sweep judges the previous
+        # run's leases), where no shared monotonic clock exists.
+        return time.time()  # repro: allow[DET002] cross-process lease clock
+
+    # -- lease protocol ----------------------------------------------------
+
+    def claim(self, key, worker, pid=None, ttl=None, now=None):
+        """Take the lease on ``key`` for ``worker``; ``True`` on success.
+
+        Fails (``False``, nothing written) when the point is already
+        completed, or another holder's lease is still live.  A stale
+        lease -- dead pid or lapsed TTL -- is silently superseded: the
+        claim record itself is the reclaim.
+        """
+        ck = canonical_key(key)
+        if ck in self.completed:
+            return False
+        now = self._now() if now is None else now
+        lease = self.leases.get(ck)
+        if lease is not None and lease.worker != worker \
+                and not self._is_stale(lease, now):
+            return False
+        ttl = self.lease_ttl if ttl is None else ttl
+        pid = os.getpid() if pid is None else pid
+        self._write({"op": "claim", "key": _plain(key), "worker": worker,
+                     "pid": pid, "t": now, "ttl": ttl}, sync=True)
+        self.leases[ck] = Lease(worker=worker, pid=pid, t=now, ttl=ttl)
+        registry().counter("ledger.claims").inc()
+        return True
+
+    def heartbeat(self, key, worker, now=None, sync=False):
+        """Refresh ``worker``'s lease on ``key`` (no-op if not the holder)."""
+        ck = canonical_key(key)
+        lease = self.leases.get(ck)
+        if lease is None or lease.worker != worker:
+            return False
+        now = self._now() if now is None else now
+        self._write({"op": "heartbeat", "key": _plain(key),
+                     "worker": worker, "t": now}, sync=sync)
+        lease.t = now
+        return True
+
+    def complete(self, key, summary, worker="parent"):
+        """Durably record ``key``'s summary; releases any lease on it."""
+        ck = canonical_key(key)
+        with span("ledger-complete", key=ck):
+            self._write({"op": "complete", "key": _plain(key),
+                         "worker": worker, "t": self._now(),
+                         "summary": summary}, sync=True)
+        self.completed[ck] = summary
+        self.leases.pop(ck, None)
+        registry().counter("ledger.completes").inc()
+
+    def abandon(self, key, worker, reason=""):
+        """Release ``worker``'s unfinished lease on ``key`` explicitly."""
+        ck = canonical_key(key)
+        self._write({"op": "abandon", "key": _plain(key), "worker": worker,
+                     "t": self._now(), "reason": reason}, sync=True)
+        self.leases.pop(ck, None)
+        registry().counter("ledger.abandons").inc()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _is_stale(self, lease, now):
+        if not _pid_alive(lease.pid):
+            return True
+        return now - lease.t > lease.ttl
+
+    def stale_leases(self, now: Optional[float] = None):
+        """Canonical keys whose lease holder is dead or has lapsed."""
+        now = self._now() if now is None else now
+        return [ck for ck, lease in self.leases.items()
+                if self._is_stale(lease, now)]
+
+    def reclaim_stale(self, now: Optional[float] = None, reason="stale"):
+        """Abandon every stale lease; returns the reclaimed canonical keys.
+
+        This is the resume path's exactly-once requeue guarantee: the
+        abandon records are durable before the caller requeues the points,
+        so a second resume sees no stale leases and requeues nothing
+        twice.
+        """
+        reclaimed = self.stale_leases(now)
+        for ck in reclaimed:
+            lease = self.leases[ck]
+            self.abandon_canonical(ck, lease.worker, reason=reason)
+        return reclaimed
+
+    def abandon_canonical(self, ck, worker, reason=""):
+        """:meth:`abandon` by canonical key (recovery paths hold those)."""
+        self._write({"op": "abandon", "key": _from_canonical(ck),
+                     "worker": worker, "t": self._now(),
+                     "reason": reason}, sync=True)
+        self.leases.pop(ck, None)
+        registry().counter("ledger.abandons").inc()
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self):
+        """Atomically rewrite the ledger to its live state; bytes saved.
+
+        Keeps one ``complete`` record per finished point and one ``claim``
+        per live lease, drops the heartbeat/abandon history.  The rewrite
+        goes through a pid-suffixed temp file, is fsynced, and replaces
+        the ledger in one rename -- a crash mid-compaction leaves the old
+        file intact, so resumability is never at risk.
+        """
+        try:
+            old_size = os.path.getsize(self.path)
+        except OSError:
+            old_size = 0
+        tmp = self.path + f".tmp.{os.getpid()}"
+        now = self._now()
+        try:
+            with open(tmp, "wb") as fh:
+                for ck in sorted(self.completed):
+                    fh.write(pack_record(MAGIC, FORMAT_VERSION, {
+                        "op": "complete", "key": _from_canonical(ck),
+                        "worker": "compact", "t": now,
+                        "summary": self.completed[ck]}))
+                for ck in sorted(self.leases):
+                    lease = self.leases[ck]
+                    fh.write(pack_record(MAGIC, FORMAT_VERSION, {
+                        "op": "claim", "key": _from_canonical(ck),
+                        "worker": lease.worker, "pid": lease.pid,
+                        "t": lease.t, "ttl": lease.ttl}))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "ab")
+        except OSError as exc:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise LedgerError(
+                f"cannot compact lease ledger {self.path!r}: {exc}") from exc
+        new_size = os.path.getsize(self.path)
+        registry().counter("ledger.compactions").inc()
+        return max(0, old_size - new_size)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def _from_canonical(ck):
+    """The plain (JSON-value) key a canonical string encodes."""
+    import json
+
+    return json.loads(ck)

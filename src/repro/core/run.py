@@ -46,6 +46,12 @@ class RunConfig:
     (:mod:`repro.obs`); ``kernel`` picks the replay dispatch engine
     (``auto``/``batched``/``horizon``/``scalar``; see
     :mod:`repro.memsim.batch` and :mod:`repro.memsim.horizon`).
+
+    ``backend`` selects the sweep executor (:mod:`repro.core.backend`):
+    ``auto`` (process pool when ``jobs > 1``, else in-process), ``inproc``,
+    ``pool``, or ``workers`` -- the lease-based multi-worker fabric, sized
+    by ``workers`` (``0`` means "derive from jobs") with per-point lease
+    TTL ``lease_ttl`` seconds (:mod:`repro.core.ledger`).
     """
 
     scale: str = "small"
@@ -59,6 +65,9 @@ class RunConfig:
     report_out: Optional[str] = None
     progress: bool = False
     kernel: str = "auto"
+    backend: str = "auto"
+    workers: int = 0
+    lease_ttl: float = 30.0
 
     def as_dict(self):
         """Plain-dict view (the run report embeds this under ``config``)."""

@@ -40,6 +40,7 @@ garbage at chosen points.
 """
 
 import multiprocessing
+import os
 import time
 import warnings
 from concurrent.futures import (
@@ -215,6 +216,26 @@ def _point_traces(point, scale, seed):
             for i in range(point.n_procs)]
 
 
+def simulate_point(point, scale, traces):
+    """Replay ``traces`` under ``point``'s machine; return the summary dict.
+
+    The database-free core of :func:`run_point`, shared with the worker
+    backend: a caller that already holds the recorded traces (the parent's
+    variant caches, or a ``repro-sweep-worker`` loading them by store key
+    from the spool) needs only address-arithmetic NUMA placement and the
+    replay engine -- never a database object.
+    """
+    from repro.core.experiment import WorkloadResult
+
+    scale = get_scale(scale)
+    cfg = scale.machine_config(**point.machine)
+    machine = NumaMachine(cfg, home_fn=_home_fn(point.placement))
+    sink = {}
+    with span("replay", qid=point.qid, n_traces=len(traces)):
+        run = Interleaver(machine).run_traces(traces, sink=sink)
+    return summarize(WorkloadResult(point.qid, scale, machine, run, sink))
+
+
 def run_point(point, scale, seed=42):
     """Simulate one sweep point from the per-process caches; return its
     summary dict (memoized per point identity).
@@ -224,8 +245,6 @@ def run_point(point, scale, seed=42):
     tuples, and NUMA placement comes from pure address arithmetic -- so a
     replay-only point needs no database object at all.
     """
-    from repro.core.experiment import WorkloadResult
-
     scale = get_scale(scale)
     reg = registry()
     ckey = _point_cache_key(point, scale, seed)
@@ -237,13 +256,7 @@ def run_point(point, scale, seed=42):
     t0 = time.perf_counter()
     with span("sweep-point", key=repr(point.key), qid=point.qid):
         traces = _point_traces(point, scale, seed)
-        cfg = scale.machine_config(**point.machine)
-        machine = NumaMachine(cfg, home_fn=_home_fn(point.placement))
-        sink = {}
-        with span("replay", qid=point.qid, n_traces=len(traces)):
-            run = Interleaver(machine).run_traces(traces, sink=sink)
-        summary = summarize(WorkloadResult(point.qid, scale, machine, run,
-                                           sink))
+        summary = simulate_point(point, scale, traces)
     reg.histogram("sweep.point.seconds", _POINT_SECONDS_BUCKETS).observe(
         time.perf_counter() - t0)
     _POINT_CACHE[ckey] = summary
@@ -272,6 +285,7 @@ _SUP_METRICS = {
     "fallbacks": "sweep.point.fallbacks",
     "garbage": "sweep.point.garbage",
     "resumed": "sweep.point.resumed",
+    "requeued": "sweep.point.requeued",
 }
 
 #: Summary dicts must carry these keys to be accepted from a worker.
@@ -619,6 +633,51 @@ def _run_supervised(todo, scale, seed, config, journal):
     return results
 
 
+def _open_journal(config):
+    """The resume store for one sweep's checkpoint directory.
+
+    The workers backend needs the full lease ledger
+    (:class:`~repro.core.ledger.LeaseLedger`); everything else keeps the
+    plain checkpoint journal -- unless a ledger file already exists on
+    disk, in which case it is honoured regardless of backend so a sweep
+    interrupted under ``--backend workers`` resumes correctly from any
+    backend.
+    """
+    from repro.core.checkpoint import CheckpointJournal
+    from repro.core.ledger import LEDGER_NAME, LeaseLedger
+
+    ledger_path = os.path.join(config.checkpoint_dir, LEDGER_NAME)
+    if getattr(config, "backend", "auto") == "workers" \
+            or os.path.exists(ledger_path):
+        return LeaseLedger(config.checkpoint_dir,
+                           lease_ttl=getattr(config, "lease_ttl", 30.0))
+    return CheckpointJournal(config.checkpoint_dir)
+
+
+def _requeue_stale(journal, points, scale, seed):
+    """Reclaim stale leases on resume; count this sweep's requeued points.
+
+    The ledger's durable abandon records make the requeue exactly-once: a
+    second resume (or a concurrent driver) sees no stale lease for a point
+    this call already reclaimed.  Points whose lease was reclaimed are
+    simply absent from the completed set, so the normal todo computation
+    re-runs them.
+    """
+    from repro.core.checkpoint import canonical_key
+
+    reclaimed = set(journal.reclaim_stale())
+    if not reclaimed:
+        return 0
+    mine = sum(1 for p in points
+               if canonical_key(_point_cache_key(p, scale, seed))
+               in reclaimed)
+    if mine:
+        registry().counter(_SUP_METRICS["requeued"]).inc(mine)
+        obs_events.emit("points.requeued", count=mine,
+                        reclaimed=len(reclaimed))
+    return mine
+
+
 #: Legacy ``run_sweep`` keyword arguments now carried by ``RunConfig``.
 _LEGACY_SWEEP_KWARGS = ("checkpoint_dir", "point_timeout", "retries",
                         "backoff")
@@ -675,6 +734,13 @@ def run_sweep(points, scale="small", seed=42, jobs=None, config=None,
     :func:`_run_supervised`); a sweep either completes with correct
     results or raises one typed :class:`~repro.core.errors.SweepError`.
 
+    ``config.backend`` selects the executor behind the same contract
+    (:mod:`repro.core.backend`): ``auto`` picks the pool exactly as
+    described above, ``workers`` fans out over lease-holding
+    ``repro-sweep-worker`` subprocesses that fetch traces by store key
+    and journal claim/heartbeat/complete transitions in a lease ledger
+    (:mod:`repro.core.ledger`).
+
     A configured checkpoint directory journals every completed point
     (:mod:`repro.core.checkpoint`); a re-run loads the journal and
     re-simulates only unfinished points, bit-identically.
@@ -689,10 +755,12 @@ def run_sweep(points, scale="small", seed=42, jobs=None, config=None,
 
     journal = None
     if config.checkpoint_dir is not None:
-        from repro.core.checkpoint import CheckpointJournal
-
-        journal = CheckpointJournal(config.checkpoint_dir)
+        journal = _open_journal(config)
     try:
+        if journal is not None and hasattr(journal, "reclaim_stale"):
+            # Claimed-but-never-completed points from an interrupted run
+            # are re-queued exactly once (durable abandon records).
+            _requeue_stale(journal, points, scale, seed)
         if journal is not None and journal.entries:
             # Resume: journaled summaries seed the point memo, so completed
             # points never reach the pool (or the in-process loop) again.
@@ -713,14 +781,19 @@ def run_sweep(points, scale="small", seed=42, jobs=None, config=None,
         todo = [p for p in points
                 if _point_cache_key(p, scale, seed) not in _POINT_CACHE]
         obs_events.emit("sweep.start", total=len(todo), points=len(points),
-                        jobs=config.jobs)
+                        jobs=config.jobs,
+                        backend=getattr(config, "backend", "auto"))
         t0 = time.perf_counter()
-        if config.jobs > 1 and len(todo) > 1:
-            summaries = _run_supervised(todo, scale, seed, config, journal)
-            # Keep the parent's memo warm so a later sweep over the same
-            # points (the misses/time figure pairs) is free.
-            for p, s in zip(todo, summaries):
-                _POINT_CACHE[_point_cache_key(p, scale, seed)] = s
+        if todo:
+            from repro.core.backend import resolve_backend
+
+            backend = resolve_backend(config, len(todo))
+            if backend is not None:
+                summaries = backend.run(todo, scale, seed, config, journal)
+                # Keep the parent's memo warm so a later sweep over the
+                # same points (the misses/time figure pairs) is free.
+                for p, s in zip(todo, summaries):
+                    _POINT_CACHE[_point_cache_key(p, scale, seed)] = s
         out = {}
         for p in points:
             ckey = _point_cache_key(p, scale, seed)

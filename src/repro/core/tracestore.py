@@ -105,6 +105,7 @@ def corruption_stats():
         "by_cause": by_cause,
         "stale_tmp_removed": reg.value("tracestore.stale_tmp_removed"),
         "rerecords": reg.value("tracestore.rerecords"),
+        "read_races": reg.value("store.read_races"),
     }
 
 
@@ -269,6 +270,39 @@ def save_trace(directory, key, trace):
     return len(blob)
 
 
+def _writer_racing(path):
+    """Whether a live writer's ``*.tmp.<pid>`` sibling of ``path`` exists.
+
+    :func:`save_trace` writes temp-then-rename, so a reader can observe a
+    half-replaced entry only in the window where the writer's temp file
+    is still on disk (or the rename just landed).  A sibling whose pid is
+    alive is exactly that window.
+    """
+    directory, name = os.path.split(path)
+    try:
+        siblings = os.listdir(directory)
+    except OSError:
+        return False
+    prefix = name + TMP_MARKER
+    for sibling in sorted(siblings):
+        if not sibling.startswith(prefix):
+            continue
+        pid_part = sibling[len(prefix):]
+        if not pid_part.isdigit():
+            continue
+        pid = int(pid_part)
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            return True  # writer is alive: an in-flight save_trace
+        except ProcessLookupError:
+            continue
+        except OSError:
+            return True  # pid exists but is not ours: assume alive
+    return False
+
+
 def load_trace(directory, key, strict=None):
     """Load the trace stored for ``key``; ``(trace, nbytes)`` or ``None``.
 
@@ -279,6 +313,12 @@ def load_trace(directory, key, strict=None):
     to re-recording; under strict mode (``strict=True``, or the
     :func:`set_strict` global when ``strict`` is ``None``) the
     :class:`TraceStoreError` propagates instead.
+
+    One exception: a checksum/truncation failure while a concurrent
+    writer's ``*.tmp.<pid>`` sibling exists is a read *race*, not
+    corruption -- the entry is re-read once, and a successful retry is
+    counted under ``store.read_races`` instead of the corruption
+    counters (strict mode included: a race is not damage).
     """
     path = os.path.join(directory, trace_filename(key))
     try:
@@ -289,6 +329,16 @@ def load_trace(directory, key, strict=None):
     try:
         trace, _ = decode_trace(data, expect_key=key)
     except TraceStoreError as exc:
+        if exc.cause in ("checksum", "truncated") and _writer_racing(path):
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+                trace, _ = decode_trace(data, expect_key=key)
+            except (OSError, TraceStoreError):
+                pass  # still unreadable: fall through as real damage
+            else:
+                registry().counter("store.read_races").inc()
+                return trace, len(data)
         _count_damage(exc)
         if _STRICT if strict is None else strict:
             raise

@@ -65,6 +65,23 @@ def _build_parser():
                         help="worker re-attempts per failed sweep point "
                              "before degrading to in-process execution "
                              "(default: 2)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "inproc", "pool", "workers"],
+                        help="sweep executor: 'auto' picks the process "
+                             "pool when --jobs > 1, 'inproc' forces "
+                             "serial, 'pool' forces the supervised pool, "
+                             "'workers' runs lease-holding "
+                             "repro-sweep-worker subprocesses that fetch "
+                             "traces by store key (default: auto)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="worker subprocesses for --backend workers "
+                             "(default: 0, derive from --jobs)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SEC",
+                        help="seconds a worker's claim on a sweep point "
+                             "stays exclusive without a heartbeat; an "
+                             "expired lease is reclaimed and the point "
+                             "re-queued (default: 30)")
     parser.add_argument("--kernel", default=os.environ.get("REPRO_KERNEL",
                                                            "auto"),
                         choices=["auto", "horizon", "batched", "scalar"],
@@ -126,6 +143,9 @@ def main(argv=None):
         report_out=args.report_out,
         progress=args.progress,
         kernel=args.kernel,
+        backend=args.backend,
+        workers=args.workers,
+        lease_ttl=args.lease_ttl,
     )
     configure_run(config)
 
@@ -175,6 +195,7 @@ def main(argv=None):
 def _print_timings(config, outcomes):
     """The ``--time`` footer: wall-clock plus harness-health counters, all
     read from the metrics registry through the per-subsystem views."""
+    from repro.core.backend import fabric_stats
     from repro.core.experiment import trace_cache_stats
     from repro.core.sweep import point_memo_stats, supervisor_stats
     from repro.core.tracestore import corruption_stats
@@ -200,14 +221,21 @@ def _print_timings(config, outcomes):
     print(f"  store health corrupt={cs['corrupt']}"
           + (f" ({causes})" if causes else "")
           + f" stale_tmp_removed={cs['stale_tmp_removed']}"
-          + f" rerecords={cs['rerecords']}")
+          + f" rerecords={cs['rerecords']}"
+          + f" read_races={cs['read_races']}")
     print(f"  point memo   hits={pm['hits']} misses={pm['misses']} "
           f"cached={pm['cached']}")
     sup = supervisor_stats()
     print(f"  supervisor   retries={sup['retries']} "
           f"timeouts={sup['timeouts']} respawns={sup['respawns']} "
           f"fallbacks={sup['fallbacks']} garbage={sup['garbage']} "
-          f"resumed={sup['resumed']}")
+          f"resumed={sup['resumed']} requeued={sup['requeued']}")
+    fab = fabric_stats()
+    if any(fab.values()):
+        print(f"  worker fab   spawns={fab['spawns']} "
+              f"deaths={fab['deaths']} stale={fab['stale']} "
+              f"corrupt_frames={fab['corrupt_frames']} "
+              f"degraded={fab['degraded']} requeued={fab['requeued']}")
     ks = kernel_stats()
     rows = ks["batched_rows"] + ks["inline_rows"] + ks["scalar_rows"]
     frac = (f" ({ks['inline_rows'] / rows:.1%} inlined, "

@@ -37,6 +37,10 @@ class ProgressReporter:
         self._respawns = 0
         self._fallbacks = 0
         self._resumed = 0
+        self._requeued = 0
+        self._workers_live = 0
+        self._worker_deaths = 0
+        self._worker_stale = 0
         self._t0 = time.perf_counter()
 
     # -- wiring ------------------------------------------------------------
@@ -76,6 +80,19 @@ class ProgressReporter:
         elif kind == "points.resumed":
             self._resumed += detail.get("count", 0)
             self._draw()
+        elif kind == "points.requeued":
+            self._requeued += detail.get("count", 0)
+            self._draw()
+        elif kind == "worker.spawn":
+            self._workers_live += 1
+            self._draw()
+        elif kind == "worker.dead":
+            self._workers_live = max(0, self._workers_live - 1)
+            self._worker_deaths += 1
+            self._draw()
+        elif kind == "worker.stale":
+            self._worker_stale += 1
+            self._draw()
         elif kind == "sweep.end":
             self._draw(force=True)
             self.end_line()
@@ -90,8 +107,13 @@ class ProgressReporter:
         name = self._experiment or "sweep"
         line = (f"{name}: {self._done}/{self._total} points"
                 f" | {now - self._t0:.1f}s")
+        if self._workers_live or self._worker_deaths:
+            line += f" | {self._workers_live} workers"
         extras = [(self._retries, "retries"), (self._respawns, "respawns"),
-                  (self._fallbacks, "fallbacks"), (self._resumed, "resumed")]
+                  (self._fallbacks, "fallbacks"), (self._resumed, "resumed"),
+                  (self._requeued, "requeued"),
+                  (self._worker_deaths, "worker deaths"),
+                  (self._worker_stale, "stale")]
         for count, label in extras:
             if count:
                 line += f" | {count} {label}"

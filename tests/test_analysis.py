@@ -484,3 +484,38 @@ def test_facts_collection_sees_repo_entry_points():
 def test_module_name_walks_init_chain():
     path = os.path.join(SRC, "repro", "memsim", "numa.py")
     assert module_name(path) == "repro.memsim.numa"
+
+
+def test_mp004_pickle_in_backend_code_flagged(tmp_path):
+    m = model_for(tmp_path, """
+        import pickle
+        from dill import dumps
+        def ship(trace):
+            return pickle.dumps(trace)
+    """, relpath="repro/core/backend.py")
+    rules = [f.rule for f in findings_of(MP_FILE_RULES, m)]
+    assert rules == ["MP004", "MP004", "MP004"]
+
+
+def test_mp004_scoped_to_backend_and_worker_only(tmp_path):
+    source = """
+        import pickle
+        def anywhere(x):
+            return pickle.loads(x)
+    """
+    worker = model_for(tmp_path, source, relpath="repro/core/worker.py")
+    assert {f.rule for f in findings_of(MP_FILE_RULES, worker)} == {"MP004"}
+    elsewhere = model_for(tmp_path, source, relpath="repro/core/sweep.py")
+    assert "MP004" not in {f.rule for f in findings_of(MP_FILE_RULES,
+                                                       elsewhere)}
+
+
+def test_mp004_json_framing_is_silent(tmp_path):
+    m = model_for(tmp_path, """
+        import json
+        import struct
+        def frame(obj):
+            payload = json.dumps(obj).encode()
+            return struct.pack("<I", len(payload)) + payload
+    """, relpath="repro/core/backend.py")
+    assert findings_of(MP_FILE_RULES, m) == []

@@ -106,3 +106,63 @@ def test_faults_cli(tmp_path, capsys):
     assert faults.main(["flip", str(path)]) == 0
     assert "32 bytes" in capsys.readouterr().out
     assert faults.main(["melt", str(path)]) == 2
+
+
+# -- worker-fabric kinds and seeded chaos ----------------------------------
+
+def test_worker_kinds_parse_and_fire_through_worker_action():
+    plan = FaultPlan.parse("wstall@0,wcorrupt@1*2,crash@2")
+    assert plan.worker_action(0, 0) == "wstall"
+    assert plan.worker_action(0, 1) is None          # spent after 1 attempt
+    assert plan.worker_action(1, 0) == "wcorrupt"
+    assert plan.worker_action(1, 1) == "wcorrupt"    # *2: two attempts
+    assert plan.worker_action(1, 2) is None
+    # Compute kinds are invisible to worker_action, and vice versa.
+    assert plan.worker_action(2, 0) is None
+    assert plan.action(2, 0) == "crash"
+    assert plan.action(0, 0) is None
+
+
+def test_module_level_worker_action_reads_the_active_plan():
+    faults.install(FaultPlan.parse("wpartition@3"))
+    try:
+        assert faults.worker_action(3, 0) == "wpartition"
+        assert faults.worker_action(3, 1) is None
+        assert faults.worker_action(0, 0) is None
+    finally:
+        faults.clear()
+
+
+def test_chaos_parse_and_bounds():
+    plan = FaultPlan.parse("chaos@42")
+    assert plan.chaos == (42, faults.CHAOS_DEFAULT_PERCENT)
+    assert bool(plan)
+    plan = FaultPlan.parse("chaos@7*60,crash@0")
+    assert plan.chaos == (7, 60)
+    assert plan.by_index == {0: ("crash", 1)}
+    with pytest.raises(ValueError, match="percent"):
+        FaultPlan.parse("chaos@1*0")
+    with pytest.raises(ValueError, match="percent"):
+        FaultPlan.parse("chaos@1*101")
+
+
+def test_chaos_schedule_is_deterministic_and_seed_sensitive():
+    coords = [(i, a) for i in range(40) for a in range(3)]
+    plan_a = FaultPlan.parse("chaos@42*50")
+    plan_b = FaultPlan.parse("chaos@42*50")
+    plan_c = FaultPlan.parse("chaos@43*50")
+    sched_a = [plan_a._scheduled(i, a) for i, a in coords]
+    assert sched_a == [plan_b._scheduled(i, a) for i, a in coords]
+    assert sched_a != [plan_c._scheduled(i, a) for i, a in coords]
+    fired = [k for k in sched_a if k is not None]
+    assert fired, "a 50% chaos schedule over 120 coordinates must fire"
+    assert set(fired) <= set(faults.CHAOS_MENU)
+    # The never-terminating kinds stay out of randomized schedules.
+    assert "hang" not in faults.CHAOS_MENU
+    assert "wpartition" not in faults.CHAOS_MENU
+
+
+def test_explicit_entries_shadow_chaos():
+    plan = FaultPlan.parse("chaos@42*100,raise@5")
+    assert plan._scheduled(5, 0) == "raise"
+    assert plan._scheduled(5, 1) is None   # spent -- chaos does not kick in

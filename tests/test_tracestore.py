@@ -318,3 +318,74 @@ def test_crashed_writer_never_corrupts_the_live_entry(tmp_path):
     loaded = second.get("Q6", 0, 0)
     assert second.loads == 1 and second.records == 0
     assert_traces_equal(loaded, trace)
+
+
+# -- concurrent-writer read races ------------------------------------------
+
+def test_writer_racing_detects_only_live_foreign_writers(tmp_path):
+    from repro.core.tracestore import _writer_racing
+
+    entry = tmp_path / trace_filename(_key("Q6"))
+    entry.write_bytes(b"whatever")
+    assert not _writer_racing(str(entry))
+
+    (tmp_path / (entry.name + f".tmp.{_dead_pid()}")).write_bytes(b"x")
+    (tmp_path / (entry.name + f".tmp.{os.getpid()}")).write_bytes(b"x")
+    (tmp_path / (entry.name + ".tmp.notapid")).write_bytes(b"x")
+    assert not _writer_racing(str(entry))   # dead, own, junk: no race
+
+    (tmp_path / (entry.name + f".tmp.{os.getppid()}")).write_bytes(b"x")
+    assert _writer_racing(str(entry))       # a live foreign writer
+
+
+def test_read_race_retries_once_and_counts_read_races(tmp_path, monkeypatch):
+    """A checksum failure that coincides with a live writer's temp file is
+    a torn read, not damage: the entry is re-read once, and the success is
+    counted under ``store.read_races`` -- the corruption counters stay
+    untouched, strict mode included."""
+    import repro.core.tracestore as ts
+
+    trace = _trace("Q6")
+    key = _key("Q6")
+    save_trace(tmp_path, key, trace)
+    path = tmp_path / trace_filename(key)
+    good = path.read_bytes()
+    torn = bytearray(good)
+    torn[len(torn) // 2] ^= 0x40
+    path.write_bytes(bytes(torn))
+
+    def writer_lands(p):
+        # The concurrent writer's os.replace settles between the failed
+        # read and the retry.
+        path.write_bytes(good)
+        return True
+
+    monkeypatch.setattr(ts, "_writer_racing", writer_lands)
+    before = corruption_stats()
+    loaded, nbytes = load_trace(tmp_path, key, strict=True)
+    after = corruption_stats()
+    assert_traces_equal(loaded, trace)
+    assert nbytes == len(good)
+    assert after["read_races"] == before["read_races"] + 1
+    assert after["corrupt"] == before["corrupt"]
+    assert after["rerecords"] == before["rerecords"]
+
+
+def test_read_race_retry_failure_is_real_damage(tmp_path):
+    """If the retry still fails, the entry is damaged for real: normal
+    corruption accounting applies even with a live writer sibling."""
+    trace = _trace("Q6")
+    key = _key("Q6")
+    save_trace(tmp_path, key, trace)
+    path = tmp_path / trace_filename(key)
+    torn = bytearray(path.read_bytes())
+    torn[len(torn) // 2] ^= 0x40
+    path.write_bytes(bytes(torn))
+    (tmp_path / (path.name + f".tmp.{os.getppid()}")).write_bytes(b"x")
+
+    before = corruption_stats()
+    with pytest.warns(TraceStoreWarning, match="damaged trace store entry"):
+        assert load_trace(tmp_path, key) is None
+    after = corruption_stats()
+    assert after["corrupt"] == before["corrupt"] + 1
+    assert after["read_races"] == before["read_races"]

@@ -1,0 +1,299 @@
+"""Worker-backend fabric: protocol framing, backend selection, recovery.
+
+The backend contract (see :mod:`repro.core.backend`) is that every
+executor returns summaries bit-identical to the serial run -- including
+the ``workers`` fabric under injected worker kills, heartbeat stalls, and
+corrupt result frames -- and that a sweep interrupted mid-flight resumes
+from the lease ledger re-queuing each in-flight point exactly once.
+"""
+
+import os
+
+import pytest
+
+from repro.core.backend import (
+    FrameBuffer,
+    InProcessBackend,
+    PoolBackend,
+    WorkerBackend,
+    fabric_stats,
+    pack_frame,
+    point_from_wire,
+    point_to_wire,
+    resolve_backend,
+)
+from repro.core.checkpoint import canonical_key
+from repro.core.errors import (
+    LeaseExpired,
+    PointTimeout,
+    RemoteWorkerError,
+    TraceStoreError,
+    WorkerError,
+    WorkerProtocolError,
+    decode_error,
+    encode_error,
+    is_retryable,
+)
+from repro.core.faults import ENV_VAR
+from repro.core.ledger import LeaseLedger
+from repro.core.run import RunConfig
+from repro.core.sweep import (
+    SweepPoint,
+    _point_cache_key,
+    clear_variant_cache,
+    run_sweep,
+    supervisor_stats,
+)
+from repro.tpcd.scales import get_scale
+
+SCALE = "tiny"
+LINES = (16, 32, 64, 128)
+
+
+def _points(n):
+    return [SweepPoint(key=("Q6", line), qid="Q6",
+                       machine={"l1_line": line // 2, "l2_line": line})
+            for line in LINES[:n]]
+
+
+def _workers_config(tmp_path, **overrides):
+    options = dict(scale=SCALE, backend="workers", workers=2,
+                   checkpoint_dir=str(tmp_path / "ckpt"), lease_ttl=20.0)
+    options.update(overrides)
+    return RunConfig(**options)
+
+
+# -- wire protocol ---------------------------------------------------------
+
+def test_frame_round_trip_and_partial_feed():
+    buf = FrameBuffer()
+    frame = pack_frame({"op": "result", "index": 3, "summary": {"a": 1}})
+    # Byte-at-a-time feeding: no frame until the last byte lands.
+    for byte in frame[:-1]:
+        buf.feed(bytes([byte]))
+        assert buf.next_frame() is None
+    buf.feed(frame[-1:])
+    assert buf.next_frame() == {"op": "result", "index": 3,
+                                "summary": {"a": 1}}
+    assert buf.next_frame() is None
+
+
+def test_two_frames_in_one_feed():
+    buf = FrameBuffer()
+    buf.feed(pack_frame({"op": "ready"}) + pack_frame({"op": "heartbeat"}))
+    assert buf.next_frame() == {"op": "ready"}
+    assert buf.next_frame() == {"op": "heartbeat"}
+
+
+def test_corrupt_payload_byte_raises_protocol_error():
+    frame = bytearray(pack_frame({"op": "ready", "pid": 1234}))
+    frame[-1] ^= 0x40
+    buf = FrameBuffer()
+    buf.feed(bytes(frame))
+    with pytest.raises(WorkerProtocolError, match="checksum"):
+        buf.next_frame()
+
+
+def test_oversized_length_prefix_raises_protocol_error():
+    from repro.core.backend import FRAME_HEADER, MAX_FRAME
+
+    buf = FrameBuffer()
+    buf.feed(FRAME_HEADER.pack(MAX_FRAME + 1, 0))
+    with pytest.raises(WorkerProtocolError, match="cap"):
+        buf.next_frame()
+
+
+def test_non_op_payload_raises_protocol_error():
+    import json
+    import zlib
+
+    from repro.core.backend import FRAME_HEADER
+
+    payload = json.dumps([1, 2, 3]).encode()
+    buf = FrameBuffer()
+    buf.feed(FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+    with pytest.raises(WorkerProtocolError, match="op message"):
+        buf.next_frame()
+
+
+def test_point_wire_round_trip():
+    point = SweepPoint(key=("Q6", 128, "node0"), qid="Q6",
+                       machine={"l2_line": 128}, n_procs=8, seed_base=3,
+                       arena_size=4096, placement="node0",
+                       lock_check_per_rescan=False)
+    back = point_from_wire(point_to_wire(point))
+    assert back == point
+    # The wire dict itself must be JSON-safe.
+    import json
+
+    assert point_from_wire(
+        json.loads(json.dumps(point_to_wire(point)))) == point
+
+
+# -- error taxonomy across the protocol ------------------------------------
+
+@pytest.mark.parametrize("exc", [
+    WorkerError("w died", worker_id="w3", point_key=("Q6", 64), qid="Q6",
+                attempts=2),
+    WorkerProtocolError("bad frame", worker_id="w1"),
+    LeaseExpired("lapsed", worker_id="w2", point_key=("Q6", 32)),
+    PointTimeout("too slow", point_key=("Q6", 16), qid="Q6", attempts=3),
+    TraceStoreError("bad entry", cause="checksum"),
+])
+def test_typed_errors_round_trip_the_wire(exc):
+    back = decode_error(encode_error(exc))
+    assert type(back) is type(exc)
+    assert str(back) == str(exc)
+    assert is_retryable(back) == is_retryable(exc)
+    for attr in ("worker_id", "qid", "attempts", "cause", "point_key"):
+        if getattr(exc, attr, None) is not None:
+            assert getattr(back, attr) == getattr(exc, attr)
+
+
+def test_foreign_error_becomes_remote_worker_error():
+    back = decode_error(encode_error(ZeroDivisionError("boom")))
+    assert isinstance(back, RemoteWorkerError)
+    assert back.remote_type == "ZeroDivisionError"
+    assert str(back) == "boom"
+    assert is_retryable(back)  # foreign errors default retryable
+
+
+def test_nonretryable_classification_survives_unknown_types():
+    class WorkerOnlyFatal(Exception):
+        retryable = False
+
+    back = decode_error(encode_error(WorkerOnlyFatal("no point retrying")))
+    assert isinstance(back, RemoteWorkerError)
+    assert back.remote_type == "WorkerOnlyFatal"
+    assert not is_retryable(back)
+
+
+def test_malformed_error_frame_decodes_to_protocol_error():
+    assert isinstance(decode_error(None), WorkerProtocolError)
+    assert isinstance(decode_error({"type": "WorkerError"}),
+                      WorkerProtocolError)
+    assert isinstance(decode_error({"message": "x", "attrs": "junk"}),
+                      RemoteWorkerError)
+
+
+# -- backend selection -----------------------------------------------------
+
+def test_resolve_backend_selection():
+    assert resolve_backend(RunConfig(backend="workers"), 4).name == "workers"
+    assert resolve_backend(RunConfig(backend="pool"), 4).name == "pool"
+    assert resolve_backend(RunConfig(backend="inproc"), 4).name == "inproc"
+    assert isinstance(resolve_backend(RunConfig(jobs=4), 4), PoolBackend)
+    # auto with one job (or one point) keeps run_sweep's own serial loop.
+    assert resolve_backend(RunConfig(jobs=1), 4) is None
+    assert resolve_backend(RunConfig(jobs=4), 1) is None
+    with pytest.raises(ValueError, match="unknown sweep backend"):
+        resolve_backend(RunConfig(backend="mainframe"), 4)
+    assert isinstance(WorkerBackend(), type(resolve_backend(
+        RunConfig(backend="workers"), 1)))
+    assert InProcessBackend.name == "inproc"
+
+
+# -- the fabric end to end -------------------------------------------------
+
+@pytest.fixture(scope="module")
+def serial3():
+    """The jobs=1 ground truth for the first three sweep points."""
+    return run_sweep(_points(3), scale=SCALE, jobs=1)
+
+
+def _workers(points, tmp_path, **overrides):
+    clear_variant_cache()  # force the points through the fabric
+    return run_sweep(points, scale=SCALE,
+                     config=_workers_config(tmp_path, **overrides))
+
+
+def test_workers_backend_matches_serial(tmp_path, serial3):
+    before = fabric_stats()
+    result = _workers(_points(3), tmp_path)
+    after = fabric_stats()
+    assert result == serial3
+    assert after["spawns"] > before["spawns"]
+    assert after["corrupt_frames"] == before["corrupt_frames"]
+    # The ledger holds every summary, compacted, no leases left.
+    ledger = LeaseLedger(tmp_path / "ckpt")
+    assert len(ledger) == 3
+    assert not ledger.leases
+    ledger.close()
+
+
+def test_workers_backend_survives_faults(monkeypatch, tmp_path, serial3):
+    # One worker kill, one corrupt result frame, one heartbeat stall --
+    # every protocol-level failure mode in one sweep.
+    monkeypatch.setenv(ENV_VAR, "crash@0,wcorrupt@1,wstall@2")
+    before = fabric_stats()
+    result = _workers(_points(3), tmp_path, lease_ttl=3.0, retries=2)
+    after = fabric_stats()
+    assert result == serial3
+    assert after["deaths"] > before["deaths"]
+    assert after["corrupt_frames"] > before["corrupt_frames"]
+    assert after["stale"] > before["stale"]
+
+
+def test_workers_backend_seeded_chaos_is_bit_identical(
+        monkeypatch, tmp_path, serial3):
+    monkeypatch.setenv(ENV_VAR, "chaos@42*40")
+    result = _workers(_points(3), tmp_path, lease_ttl=3.0, retries=2)
+    assert result == serial3
+
+
+def test_stale_lease_requeued_exactly_once_on_resume(tmp_path, serial3):
+    """Satellite regression: a run interrupted mid-point leaves a claim
+    whose holder is dead; the resume re-queues it exactly once, recomputes
+    it bit-identically, and a further resume re-queues nothing."""
+    points = _points(3)
+    scale = get_scale(SCALE)
+    ckpt = tmp_path / "ckpt"
+    keys = [_point_cache_key(p, scale, 42) for p in points]
+
+    # Simulate the interrupt: point 0 completed, point 1 claimed by a
+    # worker whose pid no longer exists (run_sweep seeds 42 by default).
+    with LeaseLedger(ckpt) as ledger:
+        ledger.complete(keys[0], serial3[points[0].key], worker="w0")
+        ledger.claim(keys[1], "w1", pid=2 ** 22 + 999)
+
+    before = supervisor_stats()
+    clear_variant_cache()
+    result = run_sweep(points, scale=SCALE,
+                       config=RunConfig(scale=SCALE, checkpoint_dir=str(ckpt)))
+    after = supervisor_stats()
+    assert result == serial3
+    assert after["requeued"] - before["requeued"] == 1
+    assert after["resumed"] - before["resumed"] == 1
+
+    # Exactly once: the reclaim was durable, a second resume finds all
+    # three points completed and nothing stale.
+    clear_variant_cache()
+    result2 = run_sweep(points, scale=SCALE,
+                        config=RunConfig(scale=SCALE,
+                                         checkpoint_dir=str(ckpt)))
+    final = supervisor_stats()
+    assert result2 == serial3
+    assert final["requeued"] == after["requeued"]
+    assert final["resumed"] - after["resumed"] == 3
+    with LeaseLedger(ckpt) as ledger:
+        assert not ledger.leases
+        assert all(canonical_key(k) in ledger.entries for k in keys)
+
+
+def test_interrupted_workers_ledger_resumes_in_process(tmp_path, serial3):
+    """Cross-backend resume: a ledger left by --backend workers is honoured
+    by a plain (auto-backend) resume in the same checkpoint dir."""
+    points = _points(2)
+    scale = get_scale(SCALE)
+    ckpt = tmp_path / "ckpt"
+    with LeaseLedger(ckpt) as ledger:
+        ledger.complete(_point_cache_key(points[0], scale, 42),
+                        serial3[points[0].key], worker="w0")
+    clear_variant_cache()
+    result = run_sweep(points, scale=SCALE,
+                       config=RunConfig(scale=SCALE,
+                                        checkpoint_dir=str(ckpt)))
+    assert result == {p.key: serial3[p.key] for p in points}
+    # The resume went through the ledger file, not a fresh journal.
+    assert os.path.exists(ckpt / "sweep-ledger.rpll")
+    assert not os.path.exists(ckpt / "sweep-checkpoint.rpcj")
