@@ -1,20 +1,23 @@
 """API: drift detection against a recorded surface baseline.
 
-``repro.core.__all__`` is the compatibility contract downstream scripts
-import against, ``RunConfig`` is the unified run API (PR 4), and the run
-report's ``SCHEMA_VERSION`` is pinned to additive-only evolution.  All
-three can be broken silently by an innocent-looking edit.  This family
+``repro.core.__all__`` and ``repro.workload.__all__`` are the
+compatibility contracts downstream scripts import against; ``RunConfig``
+(the unified run API, PR 4) and the ``ScenarioSpec``/``TenantSpec`` pair
+(the declarative workload API, PR 9) are the keyword surfaces callers
+construct; the run report's ``SCHEMA_VERSION`` and the workload spec's
+``SPEC_SCHEMA_VERSION`` are pinned to additive-only evolution.  All of
+them can be broken silently by an innocent-looking edit.  This family
 compares the current tree to ``api_baseline.json`` (committed next to
 this module, regenerated with ``python -m repro.analysis api-baseline
 --write``):
 
-API001  a name recorded in the baseline vanished from
-        ``repro.core.__all__`` (export removal = downstream ImportError).
-API002  a recorded ``RunConfig`` field was removed or its annotation
+API001  a name recorded in the baseline vanished from a public
+        ``__all__`` (export removal = downstream ImportError).
+API002  a recorded config-dataclass field was removed or its annotation
         changed (field removal/retype = silent config drops for callers
         passing keywords).
-API003  the run report ``SCHEMA_VERSION`` moved backwards, or changed at
-        all without the baseline being regenerated in the same commit.
+API003  a schema version moved backwards, or changed at all without the
+        baseline being regenerated in the same commit.
 
 Additions are fine and never flagged -- regenerating the baseline when you
 *intend* a surface change is the whole workflow.
@@ -31,8 +34,32 @@ BASELINE_NAME = "api_baseline.json"
 #: Module-relative file the baseline facts come from, keyed by fact.
 _SOURCES = {
     "core_all": os.path.join("repro", "core", "__init__.py"),
+    "workload_all": os.path.join("repro", "workload", "__init__.py"),
     "runconfig_fields": os.path.join("repro", "core", "run.py"),
+    "scenariospec_fields": os.path.join("repro", "workload", "spec.py"),
+    "tenantspec_fields": os.path.join("repro", "workload", "spec.py"),
     "report_schema_version": os.path.join("repro", "obs", "report.py"),
+    "spec_schema_version": os.path.join("repro", "workload", "spec.py"),
+}
+
+#: API001 export lists: fact key -> (module shown in messages).
+_ALL_FACTS = {
+    "core_all": "repro.core",
+    "workload_all": "repro.workload",
+}
+
+#: API002 keyword dataclasses: fact key -> class name.
+_FIELD_FACTS = {
+    "runconfig_fields": "RunConfig",
+    "scenariospec_fields": "ScenarioSpec",
+    "tenantspec_fields": "TenantSpec",
+}
+
+#: API003 schema-version constants: fact key -> (constant, label).
+_VERSION_FACTS = {
+    "report_schema_version": ("SCHEMA_VERSION", "run-report SCHEMA_VERSION"),
+    "spec_schema_version": ("SPEC_SCHEMA_VERSION",
+                            "workload-spec SPEC_SCHEMA_VERSION"),
 }
 
 
@@ -49,6 +76,42 @@ def _parse(path):
         return ast.parse(f.read(), filename=path)
 
 
+def _extract_all(tree):
+    """``(sorted __all__ names, line)`` of a module, or ``None``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets):
+            names = [elt.value for elt in node.value.elts
+                     if isinstance(elt, ast.Constant)]
+            return sorted(names), node.lineno
+    return None
+
+
+def _extract_fields(tree, class_name):
+    """``({field: annotation}, line)`` of a dataclass, or ``None``."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = {}
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name):
+                    fields[item.target.id] = ast.unparse(item.annotation)
+            return fields, node.lineno
+    return None
+
+
+def _extract_const(tree, const_name):
+    """``(value, line)`` of a module-level constant, or ``None``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == const_name
+                for t in node.targets):
+            if isinstance(node.value, ast.Constant):
+                return node.value.value, node.lineno
+    return None
+
+
 def extract_api(paths):
     """The current API surface: ``(facts, locations)``.
 
@@ -59,39 +122,33 @@ def extract_api(paths):
     """
     facts = {}
     locations = {}
+    trees = {}
 
-    path = _find_source(paths, _SOURCES["core_all"])
-    if path is not None:
-        for node in _parse(path).body:
-            if isinstance(node, ast.Assign) and any(
-                    isinstance(t, ast.Name) and t.id == "__all__"
-                    for t in node.targets):
-                names = [elt.value for elt in node.value.elts
-                         if isinstance(elt, ast.Constant)]
-                facts["core_all"] = sorted(names)
-                locations["core_all"] = (path, node.lineno)
+    def tree_for(key):
+        path = _find_source(paths, _SOURCES[key])
+        if path is None:
+            return None, None
+        if path not in trees:
+            trees[path] = _parse(path)
+        return trees[path], path
 
-    path = _find_source(paths, _SOURCES["runconfig_fields"])
-    if path is not None:
-        for node in _parse(path).body:
-            if isinstance(node, ast.ClassDef) and node.name == "RunConfig":
-                fields = {}
-                for item in node.body:
-                    if isinstance(item, ast.AnnAssign) and isinstance(
-                            item.target, ast.Name):
-                        fields[item.target.id] = ast.unparse(item.annotation)
-                facts["runconfig_fields"] = fields
-                locations["runconfig_fields"] = (path, node.lineno)
+    def record(key, extracted, path):
+        if extracted is not None:
+            facts[key], line = extracted
+            locations[key] = (path, line)
 
-    path = _find_source(paths, _SOURCES["report_schema_version"])
-    if path is not None:
-        for node in _parse(path).body:
-            if isinstance(node, ast.Assign) and any(
-                    isinstance(t, ast.Name) and t.id == "SCHEMA_VERSION"
-                    for t in node.targets):
-                if isinstance(node.value, ast.Constant):
-                    facts["report_schema_version"] = node.value.value
-                    locations["report_schema_version"] = (path, node.lineno)
+    for key in _ALL_FACTS:
+        tree, path = tree_for(key)
+        if tree is not None:
+            record(key, _extract_all(tree), path)
+    for key, class_name in _FIELD_FACTS.items():
+        tree, path = tree_for(key)
+        if tree is not None:
+            record(key, _extract_fields(tree, class_name), path)
+    for key, (const_name, _label) in _VERSION_FACTS.items():
+        tree, path = tree_for(key)
+        if tree is not None:
+            record(key, _extract_const(tree, const_name), path)
 
     return facts, locations
 
@@ -138,58 +195,62 @@ class ApiDriftRule:
         out = []
 
         def anchor(key):
-            path, line = locations.get(key, ("<api-baseline>", 0))
-            return path, line
+            return locations.get(key, ("<api-baseline>", 0))
 
-        if "core_all" in baseline and "core_all" in facts:
-            removed = sorted(set(baseline["core_all"])
-                             - set(facts["core_all"]))
-            path, line = anchor("core_all")
+        def both(key):
+            return key in baseline and key in facts
+
+        for key, module in _ALL_FACTS.items():
+            if not both(key):
+                continue
+            removed = sorted(set(baseline[key]) - set(facts[key]))
+            path, line = anchor(key)
             for name in removed:
                 out.append(Finding(
                     rule="API001", path=path, line=line, col=0,
-                    message=(f"'{name}' was removed from repro.core."
+                    message=(f"'{name}' was removed from {module}."
                              "__all__; downstream imports break -- restore "
                              "it or regenerate the API baseline if the "
                              "removal is intended"),
                     content=f"__all__ -= {name}"))
 
-        if "runconfig_fields" in baseline and "runconfig_fields" in facts:
-            old = baseline["runconfig_fields"]
-            new = facts["runconfig_fields"]
-            path, line = anchor("runconfig_fields")
+        for key, class_name in _FIELD_FACTS.items():
+            if not both(key):
+                continue
+            old, new = baseline[key], facts[key]
+            path, line = anchor(key)
             for name in sorted(set(old) - set(new)):
                 out.append(Finding(
                     rule="API002", path=path, line=line, col=0,
-                    message=(f"RunConfig field '{name}' was removed; "
+                    message=(f"{class_name} field '{name}' was removed; "
                              "callers passing it as a keyword break -- "
                              "restore it or regenerate the API baseline"),
-                    content=f"RunConfig -= {name}"))
+                    content=f"{class_name} -= {name}"))
             for name in sorted(set(old) & set(new)):
                 if old[name] != new[name]:
                     out.append(Finding(
                         rule="API002", path=path, line=line, col=0,
-                        message=(f"RunConfig field '{name}' changed type "
+                        message=(f"{class_name} field '{name}' changed type "
                                  f"({old[name]} -> {new[name]}); "
                                  "regenerate the API baseline if intended"),
-                        content=f"RunConfig {name}: {new[name]}"))
+                        content=f"{class_name} {name}: {new[name]}"))
 
-        if "report_schema_version" in baseline \
-                and "report_schema_version" in facts:
-            old_v = baseline["report_schema_version"]
-            new_v = facts["report_schema_version"]
+        for key, (const_name, label) in _VERSION_FACTS.items():
+            if not both(key):
+                continue
+            old_v, new_v = baseline[key], facts[key]
             if new_v != old_v:
-                path, line = anchor("report_schema_version")
+                path, line = anchor(key)
                 direction = ("moved backwards" if new_v < old_v
                              else "changed without a baseline update")
                 out.append(Finding(
                     rule="API003", path=path, line=line, col=0,
-                    message=(f"run-report SCHEMA_VERSION {direction} "
+                    message=(f"{label} {direction} "
                              f"({old_v} -> {new_v}); the schema evolves "
                              "additively -- bump deliberately and "
                              "regenerate the API baseline in the same "
                              "commit"),
-                    content=f"SCHEMA_VERSION = {new_v}"))
+                    content=f"{const_name} = {new_v}"))
 
         return out
 

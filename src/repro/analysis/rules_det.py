@@ -38,7 +38,8 @@ import ast
 from repro.analysis.model import dotted_chain, import_map
 
 #: Path fragments (posix) a file must contain for the DET rules to apply.
-DET_SCOPE = ("repro/memsim/", "repro/core/", "repro/experiments/")
+DET_SCOPE = ("repro/memsim/", "repro/core/", "repro/experiments/",
+             "repro/workload/")
 
 #: Module-global RNG entry points that are fine: seeding/instantiating.
 _RANDOM_OK = {"random.Random", "random.SystemRandom", "random.seed",

@@ -117,6 +117,7 @@ def clear_caches():
     """
     from repro.core.sweep import clear_variant_cache
     from repro.memsim.horizon import clear_memo
+    from repro.workload.session import clear_scenarios
 
     _DB_CACHE.clear()
     for cache in _TRACE_CACHE.values():
@@ -124,6 +125,7 @@ def clear_caches():
     _TRACE_CACHE.clear()
     clear_variant_cache()
     clear_memo()
+    clear_scenarios()
 
 
 def _resolve_trace_cache(trace_cache, scale, db):

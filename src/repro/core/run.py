@@ -22,6 +22,7 @@ and new-style configuration never diverge.
 
 import inspect
 import time
+import warnings
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Optional
 
@@ -142,9 +143,41 @@ def current_run_config(**overrides):
     return replace(cfg, **overrides) if overrides else cfg
 
 
+#: Registry names already warned about through the legacy dispatch shim
+#: (modules present in ``REGISTRY`` but not in ``FAMILIES``).
+_LEGACY_DISPATCH_WARNED = set()
+
+
+def _legacy_run(name, mod, config):
+    """Deprecated duck-typed dispatch for non-family registry modules.
+
+    Until the family registry existed, ``run_experiments`` decided what to
+    pass a module by sniffing ``run``'s signature.  Modules someone has
+    injected into ``repro.experiments.REGISTRY`` without a ``FAMILIES``
+    entry still work through this path, with a once-per-name
+    ``DeprecationWarning`` pointing at the registry.
+    """
+    if name not in _LEGACY_DISPATCH_WARNED:
+        _LEGACY_DISPATCH_WARNED.add(name)
+        warnings.warn(
+            f"experiment {name!r} is dispatched by run() signature "
+            "sniffing; register it in repro.experiments.families.FAMILIES "
+            "instead", DeprecationWarning, stacklevel=3)
+    kwargs = {"scale": config.scale}
+    if "jobs" in inspect.signature(mod.run).parameters:
+        kwargs["jobs"] = config.jobs
+    return mod.run(**kwargs)
+
+
 def run_experiments(names, config=None, on_result=None):
     """Run the named experiments under one config; the library face of the
     ``repro-experiments`` CLI.
+
+    ``names`` mixes family names (keys of
+    :data:`repro.experiments.families.FAMILIES`) with
+    :class:`~repro.workload.spec.ScenarioSpec` instances -- a spec runs as
+    an ad hoc single-scenario experiment named after itself, its results
+    being the :func:`repro.workload.run_scenario` dict.
 
     Returns ``{"outcomes": [{"name", "results", "seconds"}, ...],
     "interrupted": bool}``.  A ``KeyboardInterrupt`` mid-run keeps the
@@ -154,26 +187,35 @@ def run_experiments(names, config=None, on_result=None):
     finishes, so callers can render incrementally.
     """
     from repro.experiments import REGISTRY
+    from repro.experiments.families import FAMILIES, run_family
+    from repro.workload import run_scenario
+    from repro.workload.spec import ScenarioSpec
 
     config = config or current_run_config()
-    unknown = [n for n in names if n not in REGISTRY]
+    unknown = [n for n in names
+               if not isinstance(n, ScenarioSpec)
+               and n not in FAMILIES and n not in REGISTRY]
     if unknown:
         raise ValueError(f"unknown experiments: {unknown}")
 
     outcomes = []
     interrupted = False
     try:
-        for name in names:
-            mod = REGISTRY[name]
-            kwargs = {"scale": config.scale}
-            # Sweep-based experiments take a worker count; the others
-            # ignore it.
-            if "jobs" in inspect.signature(mod.run).parameters:
-                kwargs["jobs"] = config.jobs
+        for entry in names:
+            if isinstance(entry, ScenarioSpec):
+                name = entry.name
+                runner = lambda e=entry: run_scenario(
+                    e, scale=config.scale, jobs=config.jobs, config=config)
+            elif entry in FAMILIES:
+                name = entry
+                runner = lambda n=entry: run_family(n, config)
+            else:
+                name = entry
+                runner = lambda n=entry: _legacy_run(n, REGISTRY[n], config)
             _events.emit("experiment.start", name=name)
             start = time.monotonic()
             with span("experiment", name=name, scale=config.scale):
-                results = mod.run(**kwargs)
+                results = runner()
             elapsed = time.monotonic() - start
             _events.emit("experiment.end", name=name, seconds=elapsed)
             outcomes.append({"name": name, "results": results,

@@ -102,6 +102,13 @@ def summarize(result):
                         for c in range(N_CLASSES)},
         "l2_by_class": {CLASS_NAMES[DataClass(c)]: sum(stats.l2_read_misses[c])
                         for c in range(N_CLASSES)},
+        # Coherence misses per class (the [cold, conflict, coherence]
+        # triple's last slot): what the multi-tenant lock-line analyses
+        # read.  Additive -- _SUMMARY_KEYS validation is a subset check,
+        # so summaries journaled by older writers stay acceptable.
+        "l2_cohe_by_class": {CLASS_NAMES[DataClass(c)]:
+                             stats.l2_read_misses[c][2]
+                             for c in range(N_CLASSES)},
         "l1_reads": stats.l1_reads,
         "l1_writes": stats.l1_writes,
         "cpu": [

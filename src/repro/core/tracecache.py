@@ -345,6 +345,25 @@ class TraceCache:
         return trace
 
     def _record(self, qid, seed, node, arena_size):
+        if qid.startswith("scn:"):
+            # Scenario traces (repro.workload): the whole multi-tenant
+            # session is recorded in one canonical pass on a private
+            # database -- the shared read-only instance behind this cache
+            # must never see UF1/UF2 mutations -- and this cache keeps the
+            # per-node stream.  The query-parameter ``seed`` is unused
+            # (scenario randomness comes from the spec), but stays in the
+            # store identity like every other trace.
+            from repro.workload.session import record_scenario
+
+            db_seed = self.db_seed if self.db_seed is not None else 42
+            traces = record_scenario(qid, self.scale, db_seed, arena_size,
+                                     lock_check=self.lock_check_per_rescan)
+            if node not in traces:
+                raise KeyError(
+                    f"scenario {qid!r} records {len(traces)} CPUs; "
+                    f"node {node} was requested (SweepPoint.n_procs must "
+                    "equal the spec's cpus)")
+            return traces[node]
         qi = query_instance(qid, seed=seed)
         backend = self.db.backend(node, arena_size=arena_size)
         with span("record", qid=qid, seed=seed, node=node):

@@ -2,24 +2,20 @@
 
 Every module exposes ``run(scale="small", ...)`` returning a plain dict of
 results plus a ``report(results)`` that renders the paper-style rows.  The
-``runner`` module provides the ``repro-experiments`` CLI over all of them.
+authoritative registry is :data:`repro.experiments.families.FAMILIES`
+(declarative entries, lazy module resolution); ``REGISTRY`` here remains
+the resolved name -> module map older callers and the reporting path use.
+The ``runner`` module provides the ``repro-experiments`` CLI over all of
+them.
 """
 
 from repro.experiments import (
-    fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1,
+    fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, mixed_rw, table1,
 )
+from repro.experiments.families import FAMILIES, Family, run_family
 
-REGISTRY = {
-    "table1": table1,
-    "fig6": fig6,
-    "fig7": fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-}
+REGISTRY = {name: family.resolve() for name, family in FAMILIES.items()}
 
-__all__ = ["REGISTRY", "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
-           "fig11", "fig12", "fig13"]
+__all__ = ["FAMILIES", "Family", "REGISTRY", "run_family", "table1",
+           "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+           "fig13", "mixed_rw"]

@@ -8,7 +8,8 @@ and metadata show reuse.
 """
 
 from repro.core.report import format_table
-from repro.core.sweep import SweepPoint, run_sweep
+from repro.core.sweep import run_sweep
+from repro.experiments.families import cache_size_points, grouped_misses
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -24,19 +25,10 @@ def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS,
     :func:`repro.experiments.fig8.run`.
     """
     sc = get_scale(scale)
-    points = [
-        SweepPoint(key=(qid, mult), qid=qid,
-                   machine={"l1_size": sc.l1_size * mult,
-                            "l2_size": sc.l2_size * mult})
-        for qid in queries for mult in multipliers
-    ]
+    points = cache_size_points(sc, queries, multipliers)
     results = {}
     for (qid, mult), s in run_sweep(points, scale=sc, jobs=jobs).items():
-        results.setdefault(qid, {})[mult] = {
-            "l1": {g: sum(v) for g, v in s["l1_grouped"].items()},
-            "l2": {g: sum(v) for g, v in s["l2_grouped"].items()},
-            "exec_time": s["exec_time"],
-        }
+        results.setdefault(qid, {})[mult] = grouped_misses(s)
     return results
 
 

@@ -6,7 +6,8 @@ gains in SMem from index and metadata temporal locality.
 """
 
 from repro.core.report import format_table
-from repro.core.sweep import SweepPoint, run_sweep
+from repro.core.sweep import run_sweep
+from repro.experiments.families import cache_size_points, time_projection
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -22,17 +23,10 @@ def run(scale="small", db=None, queries=QUERIES, multipliers=MULTIPLIERS,
     :func:`repro.experiments.fig8.run`.
     """
     sc = get_scale(scale)
-    points = [
-        SweepPoint(key=(qid, mult), qid=qid,
-                   machine={"l1_size": sc.l1_size * mult,
-                            "l2_size": sc.l2_size * mult})
-        for qid in queries for mult in multipliers
-    ]
+    points = cache_size_points(sc, queries, multipliers)
     results = {}
     for (qid, mult), s in run_sweep(points, scale=sc, jobs=jobs).items():
-        comp = dict(s["components"])
-        comp["exec_time"] = s["exec_time"]
-        results.setdefault(qid, {})[mult] = comp
+        results.setdefault(qid, {})[mult] = time_projection(s)
     return results
 
 

@@ -5,8 +5,8 @@ Q6 and Q12 on the baseline architecture.  Chart (b): the Mem portion split
 by the data structures causing the stall (Data / Index / Metadata / Priv).
 """
 
-from repro.core.experiment import run_query_workload
 from repro.core.report import format_table, percent
+from repro.experiments.families import baseline_workloads
 
 QUERIES = ["Q3", "Q6", "Q12"]
 
@@ -14,8 +14,7 @@ QUERIES = ["Q3", "Q6", "Q12"]
 def run(scale="small", db=None):
     """Run the three queries on the baseline machine."""
     results = {}
-    for qid in QUERIES:
-        w = run_query_workload(qid, scale=scale, db=db)
+    for qid, w in baseline_workloads(QUERIES, scale, db).items():
         results[qid] = {
             "breakdown": w.breakdown(),
             "mem_breakdown": w.mem_breakdown(),

@@ -6,8 +6,8 @@ LockHash, XidHash, LockSLock) and by type (cold / conflict / coherence).
 Also reports the absolute miss rates quoted in section 5.1.
 """
 
-from repro.core.experiment import run_query_workload
 from repro.core.report import format_table
+from repro.experiments.families import baseline_workloads
 from repro.memsim.events import CLASS_NAMES, DataClass, N_CLASSES
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -16,8 +16,7 @@ QUERIES = ["Q3", "Q6", "Q12"]
 def run(scale="small", db=None):
     """Collect the per-structure, per-type miss classification."""
     results = {}
-    for qid in QUERIES:
-        w = run_query_workload(qid, scale=scale, db=db)
+    for qid, w in baseline_workloads(QUERIES, scale, db).items():
         s = w.stats
         results[qid] = {
             "l1": _per_class(s.l1_read_misses),

@@ -6,7 +6,8 @@ to the baseline (32-byte L1 / 64-byte L2 lines).
 """
 
 from repro.core.report import format_table
-from repro.core.sweep import SweepPoint, run_sweep
+from repro.core.sweep import run_sweep
+from repro.experiments.families import grouped_misses, line_size_points
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -25,18 +26,10 @@ def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES,
     shared per-scale database the driver rebuilds itself.
     """
     sc = get_scale(scale)
-    points = [
-        SweepPoint(key=(qid, l2_line), qid=qid,
-                   machine={"l1_line": l2_line // 2, "l2_line": l2_line})
-        for qid in queries for l2_line in line_sizes
-    ]
+    points = line_size_points(queries, line_sizes)
     results = {}
     for (qid, l2_line), s in run_sweep(points, scale=sc, jobs=jobs).items():
-        results.setdefault(qid, {})[l2_line] = {
-            "l1": {g: sum(v) for g, v in s["l1_grouped"].items()},
-            "l2": {g: sum(v) for g, v in s["l2_grouped"].items()},
-            "exec_time": s["exec_time"],
-        }
+        results.setdefault(qid, {})[l2_line] = grouped_misses(s)
     return results
 
 

@@ -7,7 +7,8 @@ until the growing private-data misses win.
 """
 
 from repro.core.report import format_table
-from repro.core.sweep import SweepPoint, run_sweep
+from repro.core.sweep import run_sweep
+from repro.experiments.families import line_size_points, time_projection
 from repro.tpcd.scales import get_scale
 
 QUERIES = ["Q3", "Q6", "Q12"]
@@ -24,16 +25,10 @@ def run(scale="small", db=None, queries=QUERIES, line_sizes=LINE_SIZES,
     :func:`repro.experiments.fig8.run`.
     """
     sc = get_scale(scale)
-    points = [
-        SweepPoint(key=(qid, l2_line), qid=qid,
-                   machine={"l1_line": l2_line // 2, "l2_line": l2_line})
-        for qid in queries for l2_line in line_sizes
-    ]
+    points = line_size_points(queries, line_sizes)
     results = {}
     for (qid, l2_line), s in run_sweep(points, scale=sc, jobs=jobs).items():
-        comp = dict(s["components"])
-        comp["exec_time"] = s["exec_time"]
-        results.setdefault(qid, {})[l2_line] = comp
+        results.setdefault(qid, {})[l2_line] = time_projection(s)
     return results
 
 

@@ -42,6 +42,12 @@ def _build_parser():
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment names (or 'all')")
+    parser.add_argument("--scenario", action="append", default=[],
+                        metavar="SPEC.json",
+                        help="run a declarative workload scenario spec "
+                             "(validated ScenarioSpec JSON; see 'python -m "
+                             "repro.workload validate'); repeatable, "
+                             "combines with experiment names")
     parser.add_argument("--scale",
                         default=os.environ.get("REPRO_SCALE", "small"),
                         help="scale preset: tiny, small, medium, paper")
@@ -117,7 +123,7 @@ def main(argv=None):
 
     args = _build_parser().parse_args(argv)
 
-    if args.list or not args.experiments:
+    if args.list or not (args.experiments or args.scenario):
         print("Available experiments:")
         for name, mod in REGISTRY.items():
             summary = (mod.__doc__ or "").strip().splitlines()[0]
@@ -129,6 +135,17 @@ def main(argv=None):
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
+
+    specs = []
+    if args.scenario:
+        from repro.workload import SpecError, load_spec
+
+        for path in args.scenario:
+            try:
+                specs.append(load_spec(path))
+            except (OSError, SpecError) as exc:
+                print(f"invalid scenario spec {path}: {exc}", file=sys.stderr)
+                return 2
 
     from repro.core import RunConfig, configure_run, run_experiments
 
@@ -156,15 +173,22 @@ def main(argv=None):
         progress = ProgressReporter(stream=sys.stderr)
         progress.attach()
 
+    spec_names = {s.name for s in specs}
+
     def show(name, results, elapsed):
         if progress is not None:
             progress.end_line()
         print(f"\n{'=' * 72}\n{name}  (scale={config.scale}, "
               f"{elapsed:.1f}s)\n{'=' * 72}")
-        print(REGISTRY[name].report(results))
+        if name in spec_names:
+            from repro.workload import scenario_report
+
+            print(scenario_report(results))
+        else:
+            print(REGISTRY[name].report(results))
 
     try:
-        outcome = run_experiments(names, config, on_result=show)
+        outcome = run_experiments(names + specs, config, on_result=show)
     finally:
         if progress is not None:
             progress.detach()

@@ -1,0 +1,44 @@
+"""``python -m repro.workload validate <spec.json>`` -- spec validation CLI.
+
+The workload twin of ``python -m repro.obs validate``: loads each file,
+checks the schema version and every field, and prints a one-line summary
+(name, hash, tenants, clients, operations) per valid spec.  Exit status 1
+on the first invalid file.
+"""
+
+import argparse
+import sys
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description="Validate declarative workload scenario specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="validate spec file(s)")
+    val.add_argument("specs", nargs="+", metavar="SPEC.json")
+    args = parser.parse_args(argv)
+
+    from repro.workload import SpecError, load_spec, scenario_qid
+    from repro.workload.scheduler import build_schedule
+
+    status = 0
+    for path in args.specs:
+        try:
+            spec = load_spec(path)
+        except (OSError, SpecError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        schedule = build_schedule(spec)
+        updates = sum(1 for op in schedule if op.is_update)
+        print(f"{path}: ok  name={spec.name} qid={scenario_qid(spec)} "
+              f"schema=v{spec.schema_version} tenants={len(spec.tenants)} "
+              f"clients={spec.total_clients()} cpus={spec.cpus} "
+              f"ops={len(schedule)} (updates={updates})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

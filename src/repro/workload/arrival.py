@@ -1,0 +1,69 @@
+"""Seeded arrival models: when each client issues each operation.
+
+An arrival schedule is *nominal* time -- offsets in simulated cycles that
+exist before any machine is chosen.  That is what keeps a scenario's
+traces machine-independent (the property the whole trace/replay substrate
+rests on, and the paper's own Mint-then-memory-model separation): the
+generator fixes a canonical order and the idle gaps between operations;
+the memory system resolves actual timing at replay.  Concretely:
+
+``closed``
+    A closed loop with ``think_time`` cycles between a client's
+    operations: operation *k* arrives at ``k * think_time``.
+``poisson``
+    An open model: inter-arrival gaps drawn from an exponential
+    distribution with mean ``mean_gap`` cycles, cumulated per client.
+``trace``
+    Trace-driven: the spec lists the exact offsets.
+
+All draws come from ``random.Random`` seeded by a CRC of the scenario
+seed, tenant name and client index, so the schedule is identical across
+processes, platforms and backends -- the determinism the hypothesis tests
+in ``tests/test_workload_sched.py`` pin.
+"""
+
+import random
+import zlib
+
+
+def client_seed(scenario_seed, tenant_name, client_index):
+    """The per-client RNG seed: stable across processes and platforms."""
+    token = f"{scenario_seed}/{tenant_name}/{client_index}"
+    return zlib.crc32(token.encode()) & 0xFFFFFFFF
+
+
+def client_arrivals(tenant, scenario_seed, client_index):
+    """Arrival offsets (cycles) for one client's operations.
+
+    Returns a nondecreasing list of ``tenant.ops_per_client`` integers.
+    """
+    n = tenant.ops_per_client
+    if tenant.arrival == "closed":
+        return [k * tenant.think_time for k in range(n)]
+    if tenant.arrival == "trace":
+        return list(tenant.arrivals)
+    if tenant.arrival == "poisson":
+        rng = random.Random(client_seed(scenario_seed, tenant.name,
+                                        client_index))
+        now = 0
+        out = []
+        for _ in range(n):
+            now += int(rng.expovariate(1.0 / tenant.mean_gap))
+            out.append(now)
+        return out
+    raise ValueError(f"unknown arrival model {tenant.arrival!r}")
+
+
+def client_ops(tenant, scenario_seed, client_index):
+    """The operation drawn for each slot of one client, from the mix.
+
+    Weighted draws from the tenant's (sorted, frozen) mix with a seeded
+    RNG; a single-entry mix short-circuits to a constant sequence.
+    """
+    ops = [op for op, _w in tenant.mix]
+    if len(ops) == 1:
+        return ops * tenant.ops_per_client
+    weights = [w for _op, w in tenant.mix]
+    rng = random.Random(client_seed(scenario_seed, tenant.name,
+                                    client_index) ^ 0x5EED)
+    return rng.choices(ops, weights=weights, k=tenant.ops_per_client)

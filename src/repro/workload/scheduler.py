@@ -1,0 +1,87 @@
+"""Session scheduler: hundreds of logical clients onto N simulated CPUs.
+
+The paper's machine runs one database process per processor; a scenario
+keeps that shape (one backend per CPU) and multiplexes its logical
+clients onto the CPUs round-robin, in tenant declaration order.  The
+resulting *canonical schedule* is the scenario's single source of truth:
+a flat list of :class:`SessionOp` records sorted by
+``(arrival, cpu, client, seq)``, which is both the order the recorder
+executes operations in (so database mutations from UF1/UF2 are observed
+identically everywhere) and the order idle gaps are derived from.
+
+Fairness is by construction and pinned by tests: global round-robin
+assignment means per-CPU client counts differ by at most one, and --
+because each tenant's clients occupy a contiguous run of the global
+client sequence -- the same holds per tenant per CPU.
+"""
+
+import zlib
+from dataclasses import dataclass
+
+from repro.workload.arrival import client_arrivals, client_ops
+from repro.workload.spec import UPDATE_OPS
+
+
+@dataclass(frozen=True)
+class SessionOp:
+    """One scheduled operation of one logical client.
+
+    ``client`` is the global client index (stable across tenants);
+    ``seq`` the operation's index within that client's session.
+    ``op_seed`` parameterizes the operation deterministically: the TPC-D
+    substitution parameters for a query, the batch content for UF1/UF2.
+    """
+
+    arrival: int
+    cpu: int
+    tenant: str
+    client: int
+    seq: int
+    op: str
+    op_seed: int
+
+    @property
+    def is_update(self):
+        return self.op in UPDATE_OPS
+
+
+def assign_clients(spec):
+    """``[(tenant, global_client_index, cpu), ...]`` round-robin over CPUs."""
+    out = []
+    g = 0
+    for tenant in spec.tenants:
+        for _ in range(tenant.clients):
+            out.append((tenant, g, g % spec.cpus))
+            g += 1
+    return out
+
+
+def build_schedule(spec):
+    """The canonical schedule: every operation of every client, sorted.
+
+    Ties on ``arrival`` resolve by ``(cpu, client, seq)``, so the order is
+    total and identical in every process that holds the same spec.
+    """
+    ops = []
+    per_tenant_index = {}
+    for tenant, client, cpu in assign_clients(spec):
+        local = per_tenant_index.get(tenant.name, 0)
+        per_tenant_index[tenant.name] = local + 1
+        arrivals = client_arrivals(tenant, spec.seed, local)
+        chosen = client_ops(tenant, spec.seed, local)
+        for seq, (arrival, op) in enumerate(zip(arrivals, chosen)):
+            token = f"{spec.seed}/{tenant.name}/{client}/{seq}/{op}"
+            ops.append(SessionOp(
+                arrival=arrival, cpu=cpu, tenant=tenant.name,
+                client=client, seq=seq, op=op,
+                op_seed=zlib.crc32(token.encode()) & 0xFFFFFFFF))
+    ops.sort(key=lambda o: (o.arrival, o.cpu, o.client, o.seq))
+    return ops
+
+
+def schedule_digest(spec):
+    """A stable fingerprint of the canonical schedule (determinism tests
+    compare this across processes and backends)."""
+    parts = [f"{o.arrival}:{o.cpu}:{o.tenant}:{o.client}:{o.seq}:"
+             f"{o.op}:{o.op_seed}" for o in build_schedule(spec)]
+    return zlib.crc32("|".join(parts).encode()) & 0xFFFFFFFF

@@ -1,0 +1,283 @@
+"""Declarative workload specifications: ``ScenarioSpec`` / ``TenantSpec``.
+
+The paper ran four single-query streams -- one query type, one instance per
+processor.  A *scenario* generalizes that workload to the shape a DSS
+server actually faces: several tenants, each a population of logical
+clients issuing a seeded mix of the 17 read-only TPC-D queries plus the
+TPC-D update functions (UF1/UF2), under an open (Poisson or trace-driven)
+or closed arrival model, multiplexed onto the N simulated processors.
+
+A scenario is *data*: a frozen dataclass with a canonical JSON round-trip
+(:meth:`ScenarioSpec.as_dict` / :meth:`ScenarioSpec.from_dict`), validated
+eagerly like :class:`~repro.core.run.RunConfig`, and identified by a
+content hash (:meth:`ScenarioSpec.spec_hash`) so the sweep engine, trace
+store, checkpoint ledger and worker fabric consume it unchanged -- the
+scenario's per-CPU event traces are stored and shipped under the qid
+``scn:<hash>`` exactly like a query's (see :mod:`repro.workload.session`).
+
+Spec files are schema-versioned (``SPEC_SCHEMA_VERSION``) with additive
+evolution; ``python -m repro.workload validate <spec.json>`` checks a file
+without running anything.  Committed examples live under ``examples/``.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+from repro.tpcd.queries import QUERY_IDS
+
+#: Version stamp written into (and required of) every spec file.  Bump it
+#: deliberately when the schema changes shape; additions of optional
+#: fields with defaults do not need a bump.
+SPEC_SCHEMA_VERSION = 1
+
+#: The update functions of TPC-D, executable alongside the queries.
+UPDATE_OPS = ("UF1", "UF2")
+
+#: Everything a tenant mix may reference.
+VALID_OPS = tuple(QUERY_IDS) + UPDATE_OPS
+
+#: Supported arrival models (see :mod:`repro.workload.arrival`).
+ARRIVAL_MODELS = ("closed", "poisson", "trace")
+
+
+class SpecError(ValueError):
+    """A workload spec failed validation."""
+
+
+def _freeze_mix(mix):
+    """Normalize a mix mapping/sequence into a sorted tuple of pairs."""
+    if isinstance(mix, dict):
+        items = mix.items()
+    else:
+        items = [tuple(entry) for entry in mix]
+    return tuple(sorted((str(op), float(w)) for op, w in items))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a population of identical stochastic clients.
+
+    ``mix`` maps operations (query ids, ``UF1``, ``UF2``) to positive
+    weights; each client draws ``ops_per_client`` operations from it.
+    ``arrival`` selects the model: ``closed`` clients issue operations
+    back-to-back with ``think_time`` simulated cycles between them;
+    ``poisson`` clients draw inter-arrival gaps from an exponential with
+    mean ``mean_gap`` cycles; ``trace`` clients follow the explicit
+    ``arrivals`` offsets (cycles, nondecreasing, one per operation).
+    ``update_batch`` sizes UF1/UF2 batches (rows inserted / orders
+    deleted per operation).
+    """
+
+    name: str
+    clients: int
+    mix: tuple = field(default_factory=tuple)
+    arrival: str = "closed"
+    think_time: int = 0
+    mean_gap: float = 0.0
+    ops_per_client: int = 1
+    arrivals: tuple = field(default_factory=tuple)
+    update_batch: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "mix", _freeze_mix(self.mix))
+        object.__setattr__(self, "arrivals",
+                           tuple(int(a) for a in self.arrivals))
+
+    def validate(self):
+        """Raise :class:`SpecError` on the first invalid field."""
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("tenant name must be a non-empty string")
+        if not isinstance(self.clients, int) or self.clients < 1:
+            raise SpecError(f"tenant {self.name!r}: clients must be a "
+                            f"positive integer, got {self.clients!r}")
+        if not self.mix:
+            raise SpecError(f"tenant {self.name!r}: empty mix")
+        for op, weight in self.mix:
+            if op not in VALID_OPS:
+                raise SpecError(
+                    f"tenant {self.name!r}: unknown operation {op!r} "
+                    f"(queries Q1..Q17 or update functions UF1/UF2)")
+            if not weight > 0:
+                raise SpecError(f"tenant {self.name!r}: weight for {op} "
+                                f"must be positive, got {weight!r}")
+        if self.arrival not in ARRIVAL_MODELS:
+            raise SpecError(f"tenant {self.name!r}: unknown arrival model "
+                            f"{self.arrival!r} (one of {ARRIVAL_MODELS})")
+        if not isinstance(self.think_time, int) or self.think_time < 0:
+            raise SpecError(f"tenant {self.name!r}: think_time must be a "
+                            "non-negative integer (cycles)")
+        if not isinstance(self.ops_per_client, int) or self.ops_per_client < 1:
+            raise SpecError(f"tenant {self.name!r}: ops_per_client must be "
+                            "a positive integer")
+        if self.arrival == "poisson" and not self.mean_gap > 0:
+            raise SpecError(f"tenant {self.name!r}: poisson arrivals need "
+                            "mean_gap > 0 (cycles)")
+        if self.arrival == "trace":
+            if len(self.arrivals) != self.ops_per_client:
+                raise SpecError(
+                    f"tenant {self.name!r}: trace arrivals must list one "
+                    f"offset per operation ({self.ops_per_client}), got "
+                    f"{len(self.arrivals)}")
+            if any(a < 0 for a in self.arrivals) or \
+                    list(self.arrivals) != sorted(self.arrivals):
+                raise SpecError(f"tenant {self.name!r}: trace arrivals must "
+                                "be nondecreasing offsets >= 0")
+        elif self.arrivals:
+            raise SpecError(f"tenant {self.name!r}: arrivals are only "
+                            "meaningful with arrival='trace'")
+        if not isinstance(self.update_batch, int) or self.update_batch < 1:
+            raise SpecError(f"tenant {self.name!r}: update_batch must be a "
+                            "positive integer")
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "clients": self.clients,
+            "mix": {op: w for op, w in self.mix},
+            "arrival": self.arrival,
+            "think_time": self.think_time,
+            "mean_gap": self.mean_gap,
+            "ops_per_client": self.ops_per_client,
+            "arrivals": list(self.arrivals),
+            "update_batch": self.update_batch,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return _from_mapping(cls, data, "tenant")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative multi-tenant workload.
+
+    ``cpus`` is the number of simulated processors the session scheduler
+    maps clients onto (one backend per CPU, like the paper's one-process-
+    per-processor setup); it must not exceed the machine's node count
+    (``machine`` overrides, default 4).  ``seed`` drives every stochastic
+    choice -- arrival gaps, mix draws, operation parameters -- so a spec
+    is a complete, bit-reproducible description of the workload.
+    ``machine`` holds :class:`~repro.memsim.numa.MachineConfig` overrides
+    applied on top of the scale baseline, exactly like
+    :class:`~repro.core.sweep.SweepPoint.machine`.
+    """
+
+    name: str
+    tenants: tuple = field(default_factory=tuple)
+    cpus: int = 4
+    seed: int = 0
+    machine: tuple = field(default_factory=tuple)
+    schema_version: int = SPEC_SCHEMA_VERSION
+
+    def __post_init__(self):
+        tenants = tuple(
+            t if isinstance(t, TenantSpec) else TenantSpec.from_dict(t)
+            for t in self.tenants)
+        object.__setattr__(self, "tenants", tenants)
+        machine = self.machine
+        if isinstance(machine, dict):
+            machine = machine.items()
+        object.__setattr__(self, "machine",
+                           tuple(sorted((str(k), v) for k, v in machine)))
+
+    def validate(self):
+        """Raise :class:`SpecError` on the first invalid field; return self."""
+        from repro.memsim.numa import MachineConfig
+
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("scenario name must be a non-empty string")
+        if self.schema_version != SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"spec schema version {self.schema_version!r} not supported "
+                f"by this validator ({SPEC_SCHEMA_VERSION})")
+        if not isinstance(self.cpus, int) or self.cpus < 1:
+            raise SpecError(f"cpus must be a positive integer, "
+                            f"got {self.cpus!r}")
+        if not isinstance(self.seed, int):
+            raise SpecError(f"seed must be an integer, got {self.seed!r}")
+        known = set(MachineConfig.__dataclass_fields__)
+        for key, _value in self.machine:
+            if key not in known:
+                raise SpecError(f"unknown machine override {key!r}")
+        n_nodes = dict(self.machine).get("n_nodes", 4)
+        if self.cpus > n_nodes:
+            raise SpecError(f"cpus={self.cpus} exceeds the machine's "
+                            f"{n_nodes} nodes")
+        if not self.tenants:
+            raise SpecError("a scenario needs at least one tenant")
+        seen = set()
+        for tenant in self.tenants:
+            if tenant.name in seen:
+                raise SpecError(f"duplicate tenant name {tenant.name!r}")
+            seen.add(tenant.name)
+            tenant.validate()
+        return self
+
+    # -- canonical serialization ------------------------------------------------
+
+    def as_dict(self):
+        """Plain-dict view; ``from_dict`` round-trips it exactly."""
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "cpus": self.cpus,
+            "seed": self.seed,
+            "machine": {k: v for k, v in self.machine},
+            "tenants": [t.as_dict() for t in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec from :meth:`as_dict` output (or a spec file's
+        parsed JSON).  Unknown keys raise -- a validator that silently
+        dropped a typoed field would defeat its purpose."""
+        return _from_mapping(cls, data, "scenario")
+
+    def to_json(self):
+        """Canonical JSON: sorted keys, no whitespace -- the hash input."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self):
+        """Content identity: SHA-256 of the canonical JSON, 12 hex digits.
+
+        Two specs with equal hashes describe byte-identical workloads;
+        the hash names the scenario's traces in the trace store
+        (``scn:<hash>``, see :mod:`repro.workload.session`).
+        """
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:12]
+
+    def total_clients(self):
+        return sum(t.clients for t in self.tenants)
+
+
+def _from_mapping(cls, data, what):
+    if not isinstance(data, dict):
+        raise SpecError(f"{what} spec must be a JSON object, "
+                        f"got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(f"unknown {what} spec key(s) {unknown}; "
+                        f"known keys: {sorted(known)}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise SpecError(f"incomplete {what} spec: {exc}") from None
+
+
+def load_spec(path):
+    """Load and validate one scenario spec file; returns the spec."""
+    with open(path, encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as exc:
+            raise SpecError(f"{path}: not valid JSON: {exc}") from exc
+    spec = ScenarioSpec.from_dict(data)
+    spec.validate()
+    return spec

@@ -1,20 +1,35 @@
 """Each experiment module runs, reports, and shows the paper's shape."""
 
+import os
+
 import pytest
 
 from repro.experiments import (
-    REGISTRY, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1,
+    REGISTRY, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, mixed_rw,
+    table1,
 )
 from repro.experiments.runner import main as runner_main
 
 SCALE = "tiny"
+EXAMPLE_SPEC = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "specs", "mixed_rw_small.json")
 
 
 def test_registry_covers_all_artifacts():
     assert set(REGISTRY) == {
         "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13",
+        "fig12", "fig13", "mixed-rw",
     }
+
+
+def test_registry_mirrors_family_registry():
+    from repro.experiments.families import FAMILIES
+
+    assert set(REGISTRY) == set(FAMILIES)
+    for name, family in FAMILIES.items():
+        assert REGISTRY[name] is family.resolve()
+        assert callable(REGISTRY[name].run)
+        assert callable(REGISTRY[name].report)
 
 
 def test_table1_all_match():
@@ -92,6 +107,66 @@ def test_fig13_prefetch_shapes():
     assert "Figure 13" in fig13.report(results)
 
 
+def test_mixed_rw_family_reports_lock_and_coherence_columns():
+    results = mixed_rw.run(scale=SCALE, update_fracs=[0.0, 0.5],
+                           client_counts=[4], cpu_counts=[2])
+    assert set(results) == {(0.0, 4, 2), (0.5, 4, 2)}
+    for r in results.values():
+        assert r["l2_misses"] > 0
+        assert r["l2_coherence"] >= 0
+        assert "lock_line_cohe" in r
+    text = mixed_rw.report(results)
+    assert "LockLine" in text and "Cohe%" in text
+
+
+def test_mixed_rw_specs_validate_at_the_extremes():
+    for frac in (0.0, 0.5, 1.0):
+        spec = mixed_rw.make_mixed_rw_spec(frac, clients=4, cpus=2)
+        assert spec.validate() is spec
+    ops = {op for op, _w in
+           mixed_rw.make_mixed_rw_spec(1.0, 4, 2).tenants[0].mix}
+    assert ops == {"UF1", "UF2"}
+
+
+def test_run_experiments_accepts_scenario_specs():
+    from repro.core.run import RunConfig, run_experiments
+    from repro.workload import load_spec
+
+    spec = load_spec(EXAMPLE_SPEC)
+    out = run_experiments(["table1", spec], RunConfig(scale=SCALE))
+    assert [o["name"] for o in out["outcomes"]] == ["table1", spec.name]
+    scenario = out["outcomes"][1]["results"]
+    assert scenario["qid"].startswith("scn:")
+    assert scenario["summary"]["exec_time"] > 0
+
+
+def test_legacy_registry_dispatch_warns_once():
+    import types
+    import warnings
+
+    from repro.core import run as run_mod
+    from repro.core.run import RunConfig, run_experiments
+
+    legacy = types.ModuleType("legacy_exp")
+    legacy.run = lambda scale="small": {"scale": scale}
+    legacy.report = str
+    REGISTRY["legacy"] = legacy
+    run_mod._LEGACY_DISPATCH_WARNED.discard("legacy")
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = run_experiments(["legacy"], RunConfig(scale=SCALE))
+            run_experiments(["legacy"], RunConfig(scale=SCALE))
+        assert out["outcomes"][0]["results"] == {"scale": SCALE}
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "FAMILIES" in str(deprecations[0].message)
+    finally:
+        del REGISTRY["legacy"]
+        run_mod._LEGACY_DISPATCH_WARNED.discard("legacy")
+
+
 def test_runner_cli_list(capsys):
     assert runner_main(["--list"]) == 0
     out = capsys.readouterr().out
@@ -106,3 +181,17 @@ def test_runner_cli_executes_experiment(capsys):
 
 def test_runner_cli_rejects_unknown(capsys):
     assert runner_main(["nope"]) == 2
+
+
+def test_runner_cli_scenario_flag(capsys):
+    assert runner_main(["--scenario", EXAMPLE_SPEC, "--scale", SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "mixed-rw-demo" in out
+    assert "lock-line" in out
+
+
+def test_runner_cli_rejects_invalid_scenario(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert runner_main(["--scenario", str(bad), "--scale", SCALE]) == 2
+    assert "invalid scenario spec" in capsys.readouterr().err

@@ -1,0 +1,172 @@
+"""ScenarioSpec / TenantSpec: round-trip, validation, hashing, CLI.
+
+The spec layer is pure data -- everything here runs without building a
+database.  The committed example specs under ``examples/specs/`` are part
+of the contract: they must validate forever (or be updated deliberately
+with a schema bump).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.workload import (
+    SPEC_SCHEMA_VERSION, ScenarioSpec, SpecError, TenantSpec, load_spec,
+    scenario_qid,
+)
+from repro.workload.__main__ import main as workload_main
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples", "specs")
+
+
+def demo_spec(**overrides):
+    options = dict(
+        name="demo",
+        cpus=2,
+        seed=3,
+        tenants=(
+            TenantSpec(name="readers", clients=3, mix={"Q6": 2, "Q3": 1},
+                       think_time=100, ops_per_client=2),
+            TenantSpec(name="writers", clients=1, mix={"UF1": 1, "UF2": 1},
+                       arrival="poisson", mean_gap=500.0, ops_per_client=2),
+        ),
+    )
+    options.update(overrides)
+    return ScenarioSpec(**options)
+
+
+# -- round-trip -------------------------------------------------------------
+
+def test_dict_and_json_round_trip_exactly():
+    spec = demo_spec()
+    assert ScenarioSpec.from_dict(spec.as_dict()) == spec
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    # The round-tripped copy hashes identically (canonical serialization).
+    assert ScenarioSpec.from_json(spec.to_json()).spec_hash() \
+        == spec.spec_hash()
+
+
+def test_mix_and_machine_are_order_insensitive():
+    a = ScenarioSpec(name="x", cpus=2, machine={"l2_line": 128, "n_nodes": 4},
+                     tenants=(TenantSpec(name="t", clients=1,
+                                         mix={"Q1": 1, "Q6": 2}),))
+    b = ScenarioSpec(name="x", cpus=2, machine={"n_nodes": 4, "l2_line": 128},
+                     tenants=(TenantSpec(name="t", clients=1,
+                                         mix={"Q6": 2, "Q1": 1}),))
+    assert a == b
+    assert a.spec_hash() == b.spec_hash()
+
+
+def test_spec_hash_is_content_identity():
+    spec = demo_spec()
+    assert demo_spec().spec_hash() == spec.spec_hash()
+    assert demo_spec(seed=4).spec_hash() != spec.spec_hash()
+    qid = scenario_qid(spec)
+    assert qid == f"scn:{spec.spec_hash()}"
+
+
+def test_unknown_keys_rejected():
+    data = demo_spec().as_dict()
+    data["sceed"] = 1
+    with pytest.raises(SpecError, match="sceed"):
+        ScenarioSpec.from_dict(data)
+    tenant = demo_spec().tenants[0].as_dict()
+    tenant["thinktime"] = 5
+    with pytest.raises(SpecError, match="thinktime"):
+        TenantSpec.from_dict(tenant)
+
+
+# -- validation -------------------------------------------------------------
+
+@pytest.mark.parametrize("overrides,match", [
+    (dict(name=""), "name"),
+    (dict(cpus=0), "cpus"),
+    (dict(cpus=5), "exceeds"),
+    (dict(seed="x"), "seed"),
+    (dict(tenants=()), "at least one tenant"),
+    (dict(machine={"warp_factor": 9}), "machine override"),
+    (dict(schema_version=SPEC_SCHEMA_VERSION + 1), "schema version"),
+])
+def test_scenario_validation_errors(overrides, match):
+    with pytest.raises(SpecError, match=match):
+        demo_spec(**overrides).validate()
+
+
+def tenant(**overrides):
+    options = dict(name="t", clients=1, mix={"Q1": 1})
+    options.update(overrides)
+    return TenantSpec(**options)
+
+
+@pytest.mark.parametrize("overrides,match", [
+    (dict(clients=0), "clients"),
+    (dict(mix={}), "empty mix"),
+    (dict(mix={"Q99": 1}), "unknown operation"),
+    (dict(mix={"Q1": 0}), "positive"),
+    (dict(arrival="burst"), "arrival model"),
+    (dict(think_time=-1), "think_time"),
+    (dict(ops_per_client=0), "ops_per_client"),
+    (dict(arrival="poisson"), "mean_gap"),
+    (dict(arrival="trace", arrivals=(0, 5)), "one .* per operation"),
+    (dict(arrival="trace", arrivals=(5, 0), ops_per_client=2),
+     "nondecreasing"),
+    (dict(arrivals=(1,)), "only meaningful"),
+    (dict(update_batch=0), "update_batch"),
+])
+def test_tenant_validation_errors(overrides, match):
+    spec = demo_spec(tenants=(tenant(**overrides),))
+    with pytest.raises(SpecError, match=match):
+        spec.validate()
+
+
+def test_duplicate_tenant_names_rejected():
+    spec = demo_spec(tenants=(tenant(), tenant()))
+    with pytest.raises(SpecError, match="duplicate tenant"):
+        spec.validate()
+
+
+def test_cpus_may_grow_with_machine_nodes():
+    spec = demo_spec(cpus=6, machine={"n_nodes": 8})
+    assert spec.validate() is spec
+
+
+# -- spec files and the validate CLI ----------------------------------------
+
+def test_load_spec_round_trip(tmp_path):
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps(demo_spec().as_dict()))
+    assert load_spec(str(path)) == demo_spec()
+
+
+def test_load_spec_rejects_bad_json_and_bad_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(SpecError, match="not valid JSON"):
+        load_spec(str(bad))
+    stale = tmp_path / "stale.json"
+    data = demo_spec().as_dict()
+    data["schema_version"] = SPEC_SCHEMA_VERSION + 1
+    stale.write_text(json.dumps(data))
+    with pytest.raises(SpecError, match="schema version"):
+        load_spec(str(stale))
+
+
+def test_validate_cli_accepts_committed_examples(capsys):
+    paths = [os.path.join(EXAMPLES, name)
+             for name in ("mixed_rw_small.json", "read_heavy.json")]
+    assert workload_main(["validate"] + paths) == 0
+    out = capsys.readouterr().out
+    assert out.count(": ok") == 2
+    assert "updates=" in out
+
+
+def test_validate_cli_flags_invalid_file(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(demo_spec().as_dict()))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "x"}))
+    assert workload_main(["validate", str(good), str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "ok" in captured.out
+    assert "INVALID" in captured.err

@@ -1,0 +1,165 @@
+"""Scenario traces end-to-end: updates through the coherence model,
+record/replay bit-identity, store round-trips, and backend invariance.
+
+These are the acceptance tests of the workload generator: a seeded
+scenario (update traffic included) must produce the identical summary
+whether it runs in-process, on a process pool, on the lease-based worker
+fabric, or replayed from the persistent trace store in a process that
+never saw the spec.
+"""
+
+import os
+
+import pytest
+
+from repro.core.experiment import clear_caches, set_trace_dir
+from repro.core.run import RunConfig
+from repro.core.sweep import SweepPoint, run_sweep
+from repro.core.tracestore import decode_trace, encode_trace, store_key
+from repro.obs.report import summary_hash
+from repro.workload import (
+    ScenarioSpec, TenantSpec, build_schedule, register_scenario,
+    run_scenario, scenario_qid, scenario_report,
+)
+from repro.workload.session import record_scenario
+
+SCALE = "tiny"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Scenario tests mutate the process-wide caches; isolate each test."""
+    clear_caches()
+    yield
+    set_trace_dir(None)
+    clear_caches()
+
+
+def update_spec(cpus=2, name="upd"):
+    """A small update-bearing scenario: UF1/UF2 writers plus Q6 readers."""
+    return ScenarioSpec(
+        name=name, cpus=cpus, seed=5,
+        tenants=(
+            TenantSpec(name="writers", clients=2 * cpus,
+                       mix={"UF1": 1, "UF2": 1}, think_time=50,
+                       ops_per_client=2, update_batch=2),
+            TenantSpec(name="readers", clients=2, mix={"Q6": 1},
+                       think_time=100),
+        ),
+    ).validate()
+
+
+def _point(spec):
+    return SweepPoint(key=spec.name, qid=scenario_qid(spec),
+                      machine=dict(spec.machine), n_procs=spec.cpus)
+
+
+def test_updates_flow_through_the_coherence_model():
+    spec = update_spec()
+    assert any(op.is_update for op in build_schedule(spec))
+    register_scenario(spec)
+    summary = run_sweep([_point(spec)], scale=SCALE)[spec.name]
+    # The update functions execute for real: lock-protected metadata
+    # traffic shows up in the simulated caches, including coherence
+    # misses on the lock spinlock line (the paper's Q3 observation,
+    # generalized to write traffic).
+    assert summary["l2_by_class"]["LockSLock"] > 0
+    cohe = sum(v[2] for v in summary["l2_grouped"].values())
+    assert cohe > 0
+    assert summary["l2_cohe_by_class"]["LockSLock"] > 0
+
+
+def test_scenario_recording_is_memoized_and_bit_stable():
+    spec = update_spec()
+    qid = register_scenario(spec)
+    from repro.tpcd.scales import get_scale
+
+    sc = get_scale(SCALE)
+    first = record_scenario(qid, sc, 42, sc.arena_size)
+    assert record_scenario(qid, sc, 42, sc.arena_size) is first
+    clear_caches()
+    register_scenario(spec)
+    again = record_scenario(qid, sc, 42, sc.arena_size)
+    assert set(again) == set(first) == set(range(spec.cpus))
+    for cpu in first:
+        assert again[cpu].kinds == first[cpu].kinds
+        assert again[cpu].rows == first[cpu].rows
+
+
+def test_update_trace_codec_round_trip():
+    spec = update_spec()
+    qid = register_scenario(spec)
+    from repro.tpcd.scales import get_scale
+
+    sc = get_scale(SCALE)
+    traces = record_scenario(qid, sc, 42, sc.arena_size)
+    for cpu, trace in traces.items():
+        key = store_key(sc.name, 42, qid, cpu, cpu, sc.arena_size, True)
+        decoded, decoded_key = decode_trace(encode_trace(key, trace),
+                                            expect_key=key)
+        assert decoded_key == key
+        assert decoded.kinds == trace.kinds
+        assert decoded.rows == trace.rows
+
+
+def test_scenario_bit_identical_across_jobs_and_backends(tmp_path):
+    spec = update_spec()
+
+    register_scenario(spec)
+    serial = run_sweep([_point(spec)], scale=SCALE)[spec.name]
+
+    clear_caches()
+    register_scenario(spec)
+    pooled = run_sweep(
+        [_point(spec)], scale=SCALE,
+        config=RunConfig(scale=SCALE, jobs=2, backend="pool"))[spec.name]
+
+    clear_caches()
+    register_scenario(spec)
+    fabric = run_sweep(
+        [_point(spec)], scale=SCALE,
+        config=RunConfig(scale=SCALE, backend="workers", workers=2,
+                         checkpoint_dir=str(tmp_path / "ckpt"),
+                         lease_ttl=20.0))[spec.name]
+
+    assert summary_hash(serial) == summary_hash(pooled)
+    assert summary_hash(serial) == summary_hash(fabric)
+
+
+def test_stored_scenario_replays_without_registration(tmp_path):
+    spec = update_spec()
+    store = str(tmp_path / "traces")
+    set_trace_dir(store)
+    register_scenario(spec)
+    recorded = run_sweep([_point(spec)], scale=SCALE)[spec.name]
+    stored = [f for f in os.listdir(store) if "scn" in f]
+    assert len(stored) == spec.cpus
+
+    # A fresh process replaying from the store never needs the spec: the
+    # qid is just a trace identity.  Simulate one by dropping every cache
+    # and the scenario registry, then resolving the same point cold.
+    clear_caches()
+    set_trace_dir(store)
+    replayed = run_sweep([_point(spec)], scale=SCALE)[spec.name]
+    assert summary_hash(replayed) == summary_hash(recorded)
+
+
+def test_run_scenario_reports_lock_line_behaviour():
+    spec = update_spec()
+    results = run_scenario(spec, scale=SCALE)
+    assert results["qid"] == scenario_qid(spec)
+    assert results["spec"] == spec.as_dict()
+    text = scenario_report(results)
+    assert spec.name in text
+    assert "lock-line" in text
+    assert "coherence" in text
+
+
+def test_unregistered_scenario_record_fails_helpfully():
+    spec = update_spec(name="ghost")
+    qid = scenario_qid(spec)
+    from repro.tpcd.scales import get_scale
+
+    with pytest.raises(KeyError, match="not registered"):
+        record_scenario(qid, get_scale(SCALE), 42,
+                        get_scale(SCALE).arena_size)
