@@ -14,15 +14,29 @@ Rule families (see each module's docstring for the catalogue):
   (:mod:`repro.analysis.rules_mp`)
 * ``API`` -- surface drift vs a recorded baseline
   (:mod:`repro.analysis.rules_api`)
+* ``KRN`` -- kernel state-equivalence: the fast replay paths' transitive
+  effect summaries vs the scalar oracle (:mod:`repro.analysis.effects`)
+* ``TNT`` -- interprocedural determinism taint: nondeterministic sources
+  flowing to result-affecting sinks (:mod:`repro.analysis.taint`)
+
+The whole-program core under the KRN/TNT rules -- the import-resolving
+call graph (:mod:`repro.analysis.callgraph`) and per-function effect
+summaries -- is also queryable directly via the ``effects`` and ``graph``
+CLI commands; the ``--cache`` flag keys a persistent store by file
+content hash (:mod:`repro.analysis.cache`) for sub-second warm reruns,
+and ``--format sarif`` exports for code scanning
+(:mod:`repro.analysis.sarif`).
 
 Findings are silenced either inline (``# repro: allow[RULE] why``) or via
 the committed ``.analysis-baseline.json`` (:mod:`repro.analysis.baseline`).
 """
 
 from repro.analysis.engine import (CheckResult, analyze_file, check,
-                                   collect_files, rule_catalogue)
+                                   collect_files, gather_facts,
+                                   rule_catalogue)
 from repro.analysis.model import FileModel, Finding
 from repro.analysis.reporters import json_report, text_report
+from repro.analysis.sarif import sarif_report
 
 __all__ = [
     "CheckResult",
@@ -31,7 +45,9 @@ __all__ = [
     "analyze_file",
     "check",
     "collect_files",
+    "gather_facts",
     "json_report",
     "rule_catalogue",
+    "sarif_report",
     "text_report",
 ]

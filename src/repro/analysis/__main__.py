@@ -5,9 +5,19 @@ Commands
 check [PATHS...]
     Analyze the given files/trees (default ``src/``) and print findings.
     Exit 0 when clean, 1 when new findings remain, 2 on usage error.
-    ``--json`` emits the obs-convention report instead of text;
+    ``--format {text,json,sarif}`` picks the report shape (``--json`` is
+    a back-compat alias for ``--format json``); ``--cache FILE`` enables
+    the content-hash incremental cache; ``--strict-todo`` fails the run
+    while baseline entries still read ``TODO: justify``;
     ``--write-baseline`` records the current findings as accepted debt;
     ``--no-baseline`` shows everything the rules see.
+effects [PATHS...]
+    Print transitive effect summaries (which oracle-state atoms each
+    function writes/reads, through calls).  ``--function SUBSTR``
+    filters by qualified name; ``--format json`` dumps the raw
+    summaries.
+graph [PATHS...]
+    Print the resolved call graph (``caller -> callee`` edges).
 rules
     Print the rule catalogue.
 api-baseline --write
@@ -16,21 +26,26 @@ api-baseline --write
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis import baseline as baseline_mod
-from repro.analysis import rules_api
-from repro.analysis.engine import check, collect_files, rule_catalogue
+from repro.analysis import effects, rules_api
+from repro.analysis.engine import (check, collect_files, gather_facts,
+                                   rule_catalogue)
 from repro.analysis.reporters import json_report, text_report
+from repro.analysis.sarif import sarif_report
 
 
 def _cmd_check(args):
+    fmt = "json" if args.json else args.format
     result = check(
         args.paths,
         jobs=args.jobs,
         baseline_file=args.baseline,
         use_baseline=not args.no_baseline,
         select=args.select.split(",") if args.select else None,
+        cache_file=args.cache,
     )
     if args.write_baseline:
         path = args.baseline or baseline_mod.BASELINE_NAME
@@ -38,18 +53,70 @@ def _cmd_check(args):
         print(f"wrote {len(entries)} entries to {path} "
               "(grep 'TODO: justify' and fill in reasons)")
         return 0
-    if args.json:
+    if fmt == "json":
         report = json_report(
             result.findings, root=result.root,
             files_checked=result.files_checked, matched=result.matched,
             suppressed=result.suppressed,
             rules=[rid for rid, _ in rule_catalogue()])
         print(json.dumps(report, indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        print(json.dumps(sarif_report(result.findings, root=result.root,
+                                      rules=rule_catalogue()),
+                         indent=2, sort_keys=True))
     else:
         print(text_report(result.findings, root=result.root,
                           matched=result.matched,
                           suppressed=result.suppressed))
+        if args.cache:
+            print(f"cache: {result.cache_hits} hits, "
+                  f"{result.cache_misses} misses")
+    if result.baseline_todos and fmt == "text":
+        print(f"warning: {result.baseline_todos} baseline entr"
+              f"{'y' if result.baseline_todos == 1 else 'ies'} still "
+              "read 'TODO: justify' -- fill in reasons "
+              "(--strict-todo makes this an error)", file=sys.stderr)
+    if args.strict_todo and result.baseline_todos:
+        return 1
     return 0 if result.ok else 1
+
+
+def _cmd_effects(args):
+    _files, facts = gather_facts(args.paths, jobs=args.jobs,
+                                 cache_file=args.cache)
+    fx = [f["fx"] for f in facts if f.get("fx")]
+    summaries, _graph = effects.summarize(fx)
+    if args.format == "json":
+        out = {
+            qual: {
+                "writes": {f"{atom}:{op}": sites
+                           for (atom, op), sites in s["writes"].items()},
+                "reads": sorted(s["reads"]),
+            }
+            for qual, s in summaries.items()
+            if (not args.function or args.function in qual)
+            and (s["writes"] or s["reads"])
+        }
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print(effects.format_summaries(summaries, match=args.function,
+                                       root=os.getcwd()))
+    return 0
+
+
+def _cmd_graph(args):
+    _files, facts = gather_facts(args.paths, jobs=args.jobs,
+                                 cache_file=args.cache)
+    fx = [f["fx"] for f in facts if f.get("fx")]
+    graph = effects.build_graph(fx)
+    edges = graph.edges(lambda info: [c[0] for c in info.get("calls", [])])
+    if args.format == "json":
+        print(json.dumps(edges, indent=2, sort_keys=True))
+    else:
+        for caller in sorted(edges):
+            for callee in edges[caller]:
+                print(f"{caller} -> {callee}")
+    return 0
 
 
 def _cmd_rules(_args):
@@ -73,6 +140,17 @@ def _cmd_api_baseline(args):
     return 0
 
 
+def _add_common(parser, formats=("text", "json")):
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--format", choices=formats, default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--cache", metavar="FILE", default=None,
+                        help="incremental cache file (content-hash keyed)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: auto)")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -80,10 +158,9 @@ def main(argv=None):
     sub = parser.add_subparsers(dest="command")
 
     p_check = sub.add_parser("check", help="analyze a tree for findings")
-    p_check.add_argument("paths", nargs="*", default=["src"],
-                         help="files or directories (default: src)")
+    _add_common(p_check, formats=("text", "json", "sarif"))
     p_check.add_argument("--json", action="store_true",
-                         help="emit an obs-convention JSON report")
+                         help="alias for --format json")
     p_check.add_argument("--baseline", metavar="FILE", default=None,
                          help="baseline file (default: nearest "
                               ".analysis-baseline.json above the tree)")
@@ -91,12 +168,23 @@ def main(argv=None):
                          help="ignore the baseline; show all findings")
     p_check.add_argument("--write-baseline", action="store_true",
                          help="record current findings as accepted debt")
-    p_check.add_argument("--jobs", type=int, default=None, metavar="N",
-                         help="worker processes (default: auto)")
+    p_check.add_argument("--strict-todo", action="store_true",
+                         help="fail while baseline entries lack reasons")
     p_check.add_argument("--select", default=None, metavar="PREFIXES",
                          help="comma-separated rule-id prefixes to keep "
                               "(e.g. DET,MP)")
     p_check.set_defaults(func=_cmd_check)
+
+    p_fx = sub.add_parser("effects",
+                          help="print transitive effect summaries")
+    _add_common(p_fx)
+    p_fx.add_argument("--function", default=None, metavar="SUBSTR",
+                      help="only qualified names containing SUBSTR")
+    p_fx.set_defaults(func=_cmd_effects)
+
+    p_graph = sub.add_parser("graph", help="print the resolved call graph")
+    _add_common(p_graph)
+    p_graph.set_defaults(func=_cmd_graph)
 
     p_rules = sub.add_parser("rules", help="print the rule catalogue")
     p_rules.set_defaults(func=_cmd_rules)

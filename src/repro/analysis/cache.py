@@ -1,0 +1,104 @@
+"""Incremental analysis cache: skip files whose content has not changed.
+
+The per-file pass (:func:`repro.analysis.engine.analyze_file`) is a pure
+function of a file's bytes, so its whole output -- findings, the three
+facts fragments, suppressions -- can be keyed by a content hash and
+replayed on the next run.  A warm CI rerun then touches only the files
+the commit changed, which is what keeps the analysis job sub-10-seconds.
+
+Invalidation is handled by construction rather than bookkeeping:
+
+* the entry key is ``relpath:sha256(content)`` -- any edit changes it;
+* the store carries a *salt* hashed over the analyzer's own sources
+  (every ``repro/analysis/*.py``), so changing a rule invalidates
+  everything without anyone remembering to bump a version;
+* the store records the absolute root it was written under -- findings
+  and facts embed absolute paths, so a cache moved to a different
+  checkout is discarded wholesale instead of replaying stale paths.
+
+Writes are atomic (tempfile + ``os.replace``), same as every other
+mutable store in the repo (MP003's rule).
+"""
+
+import hashlib
+import json
+import os
+
+CACHE_NAME = ".analysis-cache.json"
+
+#: Bump when the *entry* shape changes (the salt already covers rule
+#: logic changes).
+SCHEMA_VERSION = 1
+
+
+def analyzer_salt():
+    """Hash of the analyzer's own sources: rule changes invalidate all."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    h = hashlib.sha256()
+    for name in sorted(os.listdir(here)):
+        if not name.endswith(".py"):
+            continue
+        h.update(name.encode("utf-8"))
+        with open(os.path.join(here, name), "rb") as f:
+            h.update(f.read())
+    return h.hexdigest()[:16]
+
+
+def content_key(path, data, root):
+    """Cache key for one file: relative posix path + content hash."""
+    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+    return f"{rel}:{hashlib.sha256(data).hexdigest()}"
+
+
+class AnalysisCache:
+    """The on-disk store.  ``get``/``put`` entries, then ``save()``."""
+
+    def __init__(self, path, salt=None):
+        self.path = os.path.abspath(path)
+        self.root = os.path.dirname(self.path)
+        self.salt = salt if salt is not None else analyzer_salt()
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self._used = set()
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                data = json.load(f)
+            if (data.get("schema_version") == SCHEMA_VERSION
+                    and data.get("salt") == self.salt
+                    and data.get("root") == self.root):
+                self.entries = data.get("entries", {})
+        except (OSError, ValueError):
+            pass
+
+    def key_for(self, path, data):
+        return content_key(path, data, self.root)
+
+    def get(self, key):
+        """The stored entry for ``key``, or None (counts hit/miss)."""
+        self._used.add(key)
+        entry = self.entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key, entry):
+        self._used.add(key)
+        self.entries[key] = entry
+
+    def save(self):
+        """Atomically persist, pruning entries not touched this run."""
+        data = {
+            "schema_version": SCHEMA_VERSION,
+            "salt": self.salt,
+            "root": self.root,
+            "entries": {k: v for k, v in sorted(self.entries.items())
+                        if k in self._used},
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(data, f, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, self.path)

@@ -25,6 +25,15 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s*]+)\]")
 #: line directly above it) declares the construct's body a hot region.
 _HOT_RE = re.compile(r"#\s*repro:\s*hot\b(?!\S)")
 
+#: Kernel-equivalence contract: ``# repro: oracle-covered[l2.sets]`` (or
+#: ``oracle-covered[l2.sets:append]``, or ``oracle-covered[*]``) on a
+#: mutation site -- or the line directly above it -- declares that the
+#: fast-path write to that oracle-state atom is deliberate and proven
+#: equivalent to the scalar oracle (by the bit-identity suite).  The
+#: kernel state-equivalence rule (KRN002) treats covered sites as
+#: contract-bound instead of divergent.
+_COVER_RE = re.compile(r"#\s*repro:\s*oracle-covered\[([A-Za-z0-9_.:,\s*-]+)\]")
+
 
 @dataclass
 class Finding:
@@ -80,6 +89,21 @@ def parse_hot_markers(lines):
     return {i for i, text in enumerate(lines, start=1) if _HOT_RE.search(text)}
 
 
+def parse_coverage(lines):
+    """``{line_number: set_of_atoms}`` for every oracle-covered comment.
+
+    Atoms are state names (``l2.sets``), optionally op-qualified
+    (``l2.sets:append``); ``*`` covers everything on that line.
+    """
+    out = {}
+    for i, text in enumerate(lines, start=1):
+        m = _COVER_RE.search(text)
+        if m:
+            atoms = {a.strip() for a in m.group(1).split(",") if a.strip()}
+            out.setdefault(i, set()).update(atoms)
+    return out
+
+
 class FileModel:
     """One analyzed source file (see module docstring)."""
 
@@ -91,6 +115,7 @@ class FileModel:
         self.tree = ast.parse(text, filename=path)
         self.suppressions = parse_suppressions(self.lines)
         self.hot_markers = parse_hot_markers(self.lines)
+        self.coverage = parse_coverage(self.lines)
 
     # -- helpers for rules -------------------------------------------------
 
@@ -115,6 +140,16 @@ class FileModel:
         for lineno in (finding.line, finding.line - 1):
             rules = self.suppressions.get(lineno)
             if rules and (finding.rule in rules or "*" in rules):
+                return True
+        return False
+
+    def is_covered(self, lineno, atom, op):
+        """Whether an oracle-covered comment on ``lineno`` (or the line
+        above it) names ``atom`` (optionally ``atom:op``) or ``*``."""
+        for ln in (lineno, lineno - 1):
+            atoms = self.coverage.get(ln)
+            if atoms and ("*" in atoms or atom in atoms
+                          or f"{atom}:{op}" in atoms):
                 return True
         return False
 

@@ -42,18 +42,26 @@ DET_SCOPE = ("repro/memsim/", "repro/core/", "repro/experiments/",
              "repro/workload/")
 
 #: Module-global RNG entry points that are fine: seeding/instantiating.
-_RANDOM_OK = {"random.Random", "random.SystemRandom", "random.seed",
-              "random.getstate", "random.setstate"}
+#: Public: the interprocedural taint engine (repro.analysis.taint) shares
+#: these catalogs so the syntactic and flow-based views never disagree on
+#: what counts as a source.
+RANDOM_OK = {"random.Random", "random.SystemRandom", "random.seed",
+             "random.getstate", "random.setstate"}
 
-_WALL_CLOCKS = {
+WALL_CLOCKS = {
     "time.time", "time.time_ns", "time.ctime", "time.localtime",
     "time.gmtime", "time.strftime",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 }
 
-_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "os.getrandbits"}
-_ENTROPY_MODULES = ("secrets",)
+ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "os.getrandbits"}
+ENTROPY_MODULES = ("secrets",)
+
+_RANDOM_OK = RANDOM_OK
+_WALL_CLOCKS = WALL_CLOCKS
+_ENTROPY = ENTROPY
+_ENTROPY_MODULES = ENTROPY_MODULES
 
 
 def _in_scope(model):

@@ -43,10 +43,9 @@ fragments in the parent and walks reachability.
 """
 
 import ast
-import os
 
-from repro.analysis.model import (Finding, dotted_chain, import_map,
-                                  resolve_relative)
+from repro.analysis.callgraph import Resolver
+from repro.analysis.model import Finding, dotted_chain, import_map
 
 #: The sanctioned cross-process state channel: anything in these modules
 #: may write its own globals (the registry is merged explicitly).
@@ -62,38 +61,10 @@ _TMP_GUARDS = {"getpid", "uuid1", "uuid4", "mkstemp", "mkdtemp",
                "NamedTemporaryFile", "TemporaryDirectory", "token_hex"}
 
 
-def _package_of(model):
-    """The package a file's relative imports resolve against."""
-    if os.path.basename(model.path) == "__init__.py":
-        return model.module
-    return model.module.rsplit(".", 1)[0] if "." in model.module else ""
-
-
-class _Resolver:
-    """Resolve a name/attribute chain to a fully-qualified dotted name."""
-
-    def __init__(self, model):
-        self.module = model.module
-        self.package = _package_of(model)
-        self.imports = import_map(model.tree)
-        self.local_defs = {
-            node.name for node in model.tree.body
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef))
-        }
-
-    def qualify(self, chain):
-        """Fully qualify ``chain`` or return ``None`` if unresolvable."""
-        if chain is None:
-            return None
-        root, _, rest = chain.partition(".")
-        target = self.imports.get(root)
-        if target is not None:
-            resolved = resolve_relative(target, self.package)
-            return f"{resolved}.{rest}" if rest else resolved
-        if root in self.local_defs:
-            return f"{self.module}.{chain}"
-        return None
+# The chain-to-qualified-name resolver moved to repro.analysis.callgraph
+# (the effect and taint engines share it); the old private name stays an
+# alias so fact collection reads the same as before.
+_Resolver = Resolver
 
 
 def _mutable_globals(tree):
@@ -454,6 +425,10 @@ class BareTracePickleRule:
         if not any(path.endswith(fragment) for fragment in self.SCOPE):
             return []
         out = []
+        # Aliased imports must not dodge the rule: ``import pickle as pk;
+        # pk.loads(...)`` and ``from pickle import loads; loads(...)``
+        # both resolve back to the forbidden module.
+        imports = import_map(model.tree)
         for node in ast.walk(model.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -475,7 +450,12 @@ class BareTracePickleRule:
                         "(spool + load_trace), never as pickled arrays"))
             elif isinstance(node, ast.Call):
                 chain = dotted_chain(node.func)
-                if chain and chain.split(".", 1)[0] in self._FORBIDDEN:
+                if chain is None:
+                    continue
+                root, _, rest = chain.partition(".")
+                resolved = imports.get(root, root)
+                resolved = f"{resolved}.{rest}" if rest else resolved
+                if resolved.split(".", 1)[0] in self._FORBIDDEN:
                     out.append(model.finding(
                         self.id, node,
                         f"'{chain}' call in backend code: trace payloads "

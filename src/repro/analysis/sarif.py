@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 export of analysis findings.
+
+SARIF is the interchange format GitHub code scanning ingests, so CI can
+upload the analysis run and findings appear as repository code-scanning
+alerts instead of buried job logs.  The emitted document is minimal and
+**deterministic** -- no timestamps, sorted rules, findings in engine
+order (already sorted) -- so two runs over the same tree produce
+byte-identical SARIF, which keeps report diffs meaningful.
+"""
+
+import os
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-analysis"
+TOOL_URI = "https://github.com/"  # filled by CI context; informational
+
+
+def _rel_uri(path, root):
+    if root:
+        try:
+            return os.path.relpath(path, root).replace(os.sep, "/")
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def sarif_report(findings, *, root=None, rules=()):
+    """The findings as a SARIF 2.1.0 ``dict`` (one run, one tool).
+
+    ``rules`` is the ``(id, title)`` catalogue; every catalogued rule is
+    declared even when it produced no results, so code scanning can show
+    the full rule set.
+    """
+    rule_ids = sorted({rid for rid, _ in rules}
+                      | {f.rule for f in findings})
+    titles = dict(rules)
+    descriptors = [
+        {
+            "id": rid,
+            "name": rid,
+            "shortDescription": {"text": titles.get(rid, rid)},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for rid in rule_ids
+    ]
+    index = {rid: i for i, rid in enumerate(rule_ids)}
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _rel_uri(f.path, root)},
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }

@@ -113,7 +113,7 @@ class Planner:
         return table_preds, join_preds
 
     def _needed_columns(self, stmt, col_table, join_preds):
-        needed = {t: set() for t in set(col_table.values())}
+        needed = {t: set() for t in sorted(set(col_table.values()))}
         cols = set()
         for item in stmt.items:
             cols |= columns_of(item.expr)
@@ -212,8 +212,10 @@ class Planner:
         order = [driver]
         remaining.discard(driver)
         while remaining:
+            # sorted(): candidate order (and thus min() tie-breaks) must
+            # not depend on set hash order across processes.
             connected = [
-                t for t in remaining
+                t for t in sorted(remaining)
                 if any(_connects(p, order, t, self._table_of) for p in join_preds)
             ]
             if not connected:

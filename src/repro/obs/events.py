@@ -30,7 +30,7 @@ def set_recording(on):
     global _RECORDING, _T0
     _RECORDING = bool(on)
     _RECORDED.clear()
-    _T0 = time.time() if on else None
+    _T0 = time.monotonic() if on else None
 
 
 def subscribe(listener):
@@ -51,7 +51,8 @@ def emit(kind, **detail):
         for listener in list(_LISTENERS):
             listener(kind, detail)
     if _RECORDING:
-        _RECORDED.append({"kind": kind, "t_s": round(time.time() - _T0, 6),
+        _RECORDED.append({"kind": kind,
+                          "t_s": round(time.monotonic() - _T0, 6),
                           "detail": detail})
 
 

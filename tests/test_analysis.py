@@ -519,3 +519,121 @@ def test_mp004_json_framing_is_silent(tmp_path):
             return struct.pack("<I", len(payload)) + payload
     """, relpath="repro/core/backend.py")
     assert findings_of(MP_FILE_RULES, m) == []
+
+
+def test_mp004_aliased_import_is_caught(tmp_path):
+    m = model_for(tmp_path, """
+        import pickle as pk
+        def ship(trace):
+            return pk.loads(trace)
+    """, relpath="repro/core/backend.py")
+    assert {f.rule for f in findings_of(MP_FILE_RULES, m)} == {"MP004"}
+
+
+def test_mp004_from_import_is_caught(tmp_path):
+    m = model_for(tmp_path, """
+        from pickle import loads
+        def ship(blob):
+            return loads(blob)
+    """, relpath="repro/core/worker.py")
+    assert {f.rule for f in findings_of(MP_FILE_RULES, m)} == {"MP004"}
+
+
+def test_mp004_prefix_lookalike_module_is_silent(tmp_path):
+    m = model_for(tmp_path, """
+        import pickletools
+        def describe(blob):
+            return pickletools.dis(blob)
+    """, relpath="repro/core/backend.py")
+    assert findings_of(MP_FILE_RULES, m) == []
+
+
+# -- incremental cache -------------------------------------------------------
+
+
+def _cache_proj(tmp_path):
+    proj = tmp_path / "proj" / "repro" / "core"
+    proj.mkdir(parents=True)
+    (proj / "a.py").write_text("import time\ndef f():\n    return time.time()\n")
+    (proj / "b.py").write_text("def g():\n    return 1\n")
+    return tmp_path / "proj", str(tmp_path / "proj" / ".analysis-cache.json")
+
+
+def test_cache_warm_run_is_identical(tmp_path):
+    proj, cache_file = _cache_proj(tmp_path)
+    cold = check([str(proj)], use_baseline=False, cache_file=cache_file)
+    warm = check([str(proj)], use_baseline=False, cache_file=cache_file)
+    assert cold.cache_hits == 0 and cold.cache_misses == 2
+    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    assert ([f.as_dict() for f in warm.findings]
+            == [f.as_dict() for f in cold.findings])
+    assert warm.suppressed == cold.suppressed
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    proj, cache_file = _cache_proj(tmp_path)
+    check([str(proj)], use_baseline=False, cache_file=cache_file)
+    (proj / "repro" / "core" / "b.py").write_text(
+        "import time\ndef g():\n    return time.time()\n")
+    result = check([str(proj)], use_baseline=False, cache_file=cache_file)
+    assert result.cache_hits == 1 and result.cache_misses == 1
+    assert sum(1 for f in result.findings if f.rule == "DET002") == 2
+
+
+def test_cache_discarded_when_analyzer_changes(tmp_path):
+    from repro.analysis.cache import AnalysisCache
+    proj, cache_file = _cache_proj(tmp_path)
+    check([str(proj)], use_baseline=False, cache_file=cache_file)
+    stale = AnalysisCache(cache_file, salt="different-analyzer")
+    assert stale.entries == {}
+
+
+# -- SARIF export ------------------------------------------------------------
+
+
+def test_sarif_report_shape(tmp_path):
+    from repro.analysis.sarif import sarif_report
+    f = Finding(rule="DET002", path=str(tmp_path / "m.py"), line=3, col=11,
+                message="wall clock", content="t = time.time()")
+    doc = sarif_report([f], root=str(tmp_path),
+                       rules=[("DET002", "wall-clock read")])
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "DET002" in ids
+    (res,) = run["results"]
+    assert res["ruleId"] == "DET002"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "m.py"
+    assert loc["region"] == {"startLine": 3, "startColumn": 12}
+
+
+def test_sarif_is_deterministic(tmp_path):
+    from repro.analysis.sarif import sarif_report
+    f = Finding(rule="MP001", path="x.py", line=1, col=0, message="m")
+    assert json.dumps(sarif_report([f])) == json.dumps(sarif_report([f]))
+
+
+# -- baseline TODO gate ------------------------------------------------------
+
+
+def test_baseline_todos_counted_and_strict_gate(tmp_path, capsys):
+    proj = tmp_path / "repro" / "core"
+    proj.mkdir(parents=True)
+    (proj / "m.py").write_text(
+        "import time\ndef f():\n    return time.time()\n")
+    baseline_file = str(tmp_path / ".analysis-baseline.json")
+    result = check([str(tmp_path)], use_baseline=False)
+    baseline_mod.write(result.findings, baseline_file)
+
+    gated = check([str(tmp_path)], baseline_file=baseline_file)
+    assert gated.findings == []
+    assert gated.baseline_todos == 1
+
+    from repro.analysis.__main__ import main
+    rc = main(["check", str(tmp_path), "--baseline", baseline_file,
+               "--strict-todo"])
+    assert rc == 1
+    assert "TODO: justify" in capsys.readouterr().err
+    rc = main(["check", str(tmp_path), "--baseline", baseline_file])
+    assert rc == 0

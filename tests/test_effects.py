@@ -1,0 +1,171 @@
+"""Tests for the effect-summary extractor (repro.analysis.effects).
+
+Fixtures are written against the real oracle-state catalog: a parameter
+named ``machine`` seeds a NumaMachine-shaped abstract object, so
+``machine.stats.l1_reads += 1`` is a write to the ``stats.l1_reads``
+atom, ``machine.l1[0]._sets[i]`` is the ``l1.sets`` tag state, and a
+``Cache``-class method writes the parametric ``@cache.*`` atoms that
+call edges substitute with the receiver's level prefix.
+"""
+
+import textwrap
+
+from repro.analysis import effects
+from repro.analysis.model import FileModel
+
+
+def facts_for(tmp_path, source, relpath="repro/memsim/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    for parent in (path.parent, path.parent.parent):
+        init = parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    path.write_text(textwrap.dedent(source))
+    model = FileModel(str(path), path.read_text())
+    return effects.collect_facts(model)
+
+
+def writes_of(info):
+    return {(w[0], w[1]) for w in info["writes"]}
+
+
+# -- extraction --------------------------------------------------------------
+
+
+def test_machine_param_stats_write(tmp_path):
+    fx = facts_for(tmp_path, """
+        def bump(machine):
+            machine.stats.l1_reads += 1
+            machine.stats.l1_writes = 0
+    """)
+    info = fx["functions"]["repro.memsim.mod.bump"]
+    assert writes_of(info) == {("stats.l1_reads", "store"),
+                               ("stats.l1_writes", "store")}
+
+
+def test_cache_tag_state_through_subscripts(tmp_path):
+    fx = facts_for(tmp_path, """
+        def touch(machine, idx, tag):
+            ways = machine.l1[0]._sets[idx]
+            ways.remove(tag)
+            ways.insert(0, tag)
+            machine.l1[0]._seen.add(tag)
+    """)
+    info = fx["functions"]["repro.memsim.mod.touch"]
+    assert writes_of(info) == {("l1.sets", "remove"), ("l1.sets", "insert"),
+                               ("l1.seen", "add")}
+
+
+def test_bound_method_alias_still_counts(tmp_path):
+    fx = facts_for(tmp_path, """
+        def queue(machine, entry):
+            push = machine.wb[0].entries.append
+            push(entry)
+    """)
+    info = fx["functions"]["repro.memsim.mod.queue"]
+    assert ("wb.entries", "append") in writes_of(info)
+
+
+def test_reads_without_writes(tmp_path):
+    fx = facts_for(tmp_path, """
+        def peek(machine, idx):
+            return len(machine.l2[0]._sets[idx])
+    """)
+    info = fx["functions"]["repro.memsim.mod.peek"]
+    assert info["writes"] == []
+    assert "l2.sets" in {r[0] for r in info["reads"]}
+
+
+# -- transitive summaries ----------------------------------------------------
+
+
+def test_summarize_propagates_through_calls_and_cycles(tmp_path):
+    fx = facts_for(tmp_path, """
+        def a(machine, n):
+            if n:
+                b(machine, n - 1)
+            machine.stats.l1_reads += 1
+
+        def b(machine, n):
+            a(machine, n)
+    """)
+    summaries, _graph = effects.summarize([fx])
+    for qual in ("repro.memsim.mod.a", "repro.memsim.mod.b"):
+        assert ("stats.l1_reads", "store") in summaries[qual]["writes"]
+
+
+def test_receiver_prefix_substitution(tmp_path):
+    fx = facts_for(tmp_path, """
+        class Cache:
+            def fill(self, idx, tag):
+                self._sets[idx].insert(0, tag)
+                self._seen.add(tag)
+
+        def warm(machine, idx, tag):
+            machine.l2[0].fill(idx, tag)
+    """)
+    summaries, _graph = effects.summarize([fx])
+    own = summaries["repro.memsim.mod.Cache.fill"]["writes"]
+    assert ("@cache.sets", "insert") in own
+    # At the call edge the parametric prefix becomes the receiver's level.
+    caller = summaries["repro.memsim.mod.warm"]["writes"]
+    assert ("l2.sets", "insert") in caller
+    assert ("l2.seen", "add") in caller
+    assert not any(atom.startswith("@cache") for atom, _ in caller)
+
+
+def test_dynamic_dispatch_over_approximates(tmp_path):
+    fx = facts_for(tmp_path, """
+        class Sink:
+            def drain(self, machine):
+                machine.stats.l2_reads += 1
+
+        def go(machine, s):
+            s.drain(machine)
+    """)
+    summaries, graph = effects.summarize([fx])
+    # The unknown receiver fans to every analyzed method named ``drain``.
+    assert graph.resolve("~dyn:drain") == ["repro.memsim.mod.Sink.drain"]
+    assert ("stats.l2_reads", "store") in \
+        summaries["repro.memsim.mod.go"]["writes"]
+
+
+def test_container_method_on_unknown_receiver_is_not_a_fan(tmp_path):
+    fx = facts_for(tmp_path, """
+        def tally(machine, acc):
+            acc.append(1)
+    """)
+    info = fx["functions"]["repro.memsim.mod.tally"]
+    assert info["writes"] == []
+    assert not any(t[0].startswith("~dyn") for t in info["calls"])
+
+
+# -- the oracle-covered contract marker --------------------------------------
+
+
+def test_oracle_covered_marker_parses(tmp_path):
+    path = tmp_path / "m.py"
+    path.write_text(textwrap.dedent("""
+        def f(machine, tag):
+            # repro: oracle-covered[l2.sets:append]
+            machine.l2[0]._sets[0].append(tag)
+            machine.l2[0]._sets[0].append(tag)  # repro: oracle-covered[*]
+    """))
+    model = FileModel(str(path), path.read_text())
+    assert model.is_covered(4, "l2.sets", "append")       # line above
+    assert not model.is_covered(4, "l2.sets", "pop")      # op-specific
+    assert model.is_covered(5, "l1.sets", "pop")          # wildcard
+    assert not model.is_covered(2, "l2.sets", "append")
+
+
+def test_covered_flag_lands_in_facts(tmp_path):
+    fx = facts_for(tmp_path, """
+        def f(machine, tag):
+            machine.l2[0]._sets[0].append(tag)  # repro: oracle-covered[l2.sets]
+    """)
+    info = fx["functions"]["repro.memsim.mod.f"]
+    (write,) = info["writes"]
+    atom, op, _line, _content, covered = write
+    assert (atom, op) == ("l2.sets", "append")
+    assert covered
